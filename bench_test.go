@@ -1,0 +1,208 @@
+package nearestpeer
+
+// The repository benchmark suite: one benchmark per table and figure of the
+// paper, plus the DESIGN.md ablations. Each benchmark computes its figure
+// from scratch per iteration (the shared topology is built once, outside
+// the timer) and prints the rendered figure once, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's evaluation. Set NEARESTPEER_BENCH_SCALE=full to
+// run at the paper's population sizes (slow); the default quick scale keeps
+// every effect visible at a fraction of the cost.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"nearestpeer/internal/experiments"
+)
+
+const benchSeed = 1
+
+func benchScale() experiments.Scale {
+	if os.Getenv("NEARESTPEER_BENCH_SCALE") == "full" {
+		return experiments.Full
+	}
+	return experiments.Quick
+}
+
+var printOnce sync.Map
+
+// report prints a figure's rendered output once per process.
+func report(name, text string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n==== %s ====\n%s\n", name, text)
+	}
+}
+
+func BenchmarkTable1VantagePoints(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1(env)
+		if i == 0 {
+			report("table1", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig3PredictionMeasureCDF(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		study := experiments.ComputeDNSStudy(env)
+		r := experiments.Fig3From(study)
+		if i == 0 {
+			report("fig3", r.Render())
+			b.ReportMetric(r.FractionIn05_2, "frac_in_0.5_2")
+		}
+	}
+}
+
+func BenchmarkFig4PredictionVsPredictedLatency(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	study := experiments.ComputeDNSStudy(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4From(study)
+		if i == 0 {
+			report("fig4", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig5IntraVsInterDomain(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	study := experiments.ComputeDNSStudy(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5From(study)
+		if i == 0 {
+			report("fig5", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig6ClusterSizes(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.ComputeAzureusStudy(env)
+		r := experiments.Fig6From(res)
+		if i == 0 {
+			report("fig6", r.Render())
+			b.ReportMetric(r.FracPruned25, "frac_pruned_ge25")
+		}
+	}
+}
+
+func BenchmarkFig7IntraClusterLatencies(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	res := experiments.ComputeAzureusStudy(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7From(res)
+		if i == 0 {
+			report("fig7", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig8MeridianVsClusterSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(benchScale(), benchSeed)
+		if i == 0 {
+			report("fig8", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig9MeridianVsDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(benchScale(), benchSeed)
+		if i == 0 {
+			report("fig9", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig10UCLHopsVsLatency(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	g := experiments.TraceGraph(env) // graph shared; analysis is the subject
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10From(env, g)
+		if i == 0 {
+			report("fig10", r.Render())
+		}
+	}
+}
+
+func BenchmarkFig11PrefixErrorRates(b *testing.B) {
+	env := experiments.SharedEnv(benchScale(), benchSeed)
+	g := experiments.TraceGraph(env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11From(env, g)
+		if i == 0 {
+			report("fig11", r.Render())
+		}
+	}
+}
+
+func BenchmarkAblationHypervolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationHypervolume(benchScale(), benchSeed)
+		if i == 0 {
+			report("ablation-a1", r.Render())
+		}
+	}
+}
+
+func BenchmarkAblationBetaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBetaSweep(benchScale(), benchSeed)
+		if i == 0 {
+			report("ablation-a2", r.Render())
+		}
+	}
+}
+
+func BenchmarkAblationAlgorithmComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationAlgorithmComparison(benchScale(), benchSeed)
+		if i == 0 {
+			report("ablation-a3", r.Render())
+		}
+	}
+}
+
+func BenchmarkAblationUCLDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationUCLDepth(benchScale(), benchSeed)
+		if i == 0 {
+			report("ablation-a4", r.Render())
+		}
+	}
+}
+
+func BenchmarkAblationComposite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationComposite(benchScale(), benchSeed)
+		if i == 0 {
+			report("ablation-a5", r.Render())
+		}
+	}
+}
+
+func BenchmarkAblationRingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationRingSize(benchScale(), benchSeed)
+		if i == 0 {
+			report("ablation-a6", r.Render())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command figures regenerates every table and figure of the paper, writing
+// each to stdout and (with -out) to a results directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nearestpeer/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's full population sizes (slow)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	outDir := flag.String("out", "", "directory to write per-figure text files")
+	only := flag.String("only", "", "run a single experiment (e.g. fig8, table1, a3)")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	type experiment struct {
+		name string
+		run  func() string
+	}
+	env := func() *experiments.Env { return experiments.SharedEnv(scale, *seed) }
+	list := []experiment{
+		{"table1", func() string { return experiments.Table1(env()).Render() }},
+		{"fig3", func() string { return experiments.Fig3(env()).Render() }},
+		{"fig4", func() string { return experiments.Fig4(env()).Render() }},
+		{"fig5", func() string { return experiments.Fig5(env()).Render() }},
+		{"fig6", func() string { return experiments.Fig6(env()).Render() }},
+		{"fig7", func() string { return experiments.Fig7(env()).Render() }},
+		{"fig8", func() string { return experiments.Fig8(scale, *seed).Render() }},
+		{"fig9", func() string { return experiments.Fig9(scale, *seed).Render() }},
+		{"fig10", func() string { return experiments.Fig10(env()).Render() }},
+		{"fig11", func() string { return experiments.Fig11(env()).Render() }},
+		{"a1", func() string { return experiments.AblationHypervolume(scale, *seed).Render() }},
+		{"a2", func() string { return experiments.AblationBetaSweep(scale, *seed).Render() }},
+		{"a3", func() string { return experiments.AblationAlgorithmComparison(scale, *seed).Render() }},
+		{"a4", func() string { return experiments.AblationUCLDepth(scale, *seed).Render() }},
+		{"a5", func() string { return experiments.AblationComposite(scale, *seed).Render() }},
+		{"a6", func() string { return experiments.AblationRingSize(scale, *seed).Render() }},
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range list {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		start := time.Now()
+		text := e.run()
+		fmt.Printf("==== %s (scale=%s, %v) ====\n%s\n", e.name, scale, time.Since(start).Round(time.Millisecond), text)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

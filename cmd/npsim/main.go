@@ -1,0 +1,103 @@
+// Command npsim runs parameterised nearest-peer simulations on the Section
+// 4 clustered latency matrices: pick an algorithm, cluster geometry and
+// query count, and get exact-closest / correct-cluster rates with probe
+// costs — the interactive companion to Figures 8 and 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nearestpeer/internal/beacon"
+	"nearestpeer/internal/kargerruhl"
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/meridian"
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/pic"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/tapestry"
+	"nearestpeer/internal/tiers"
+	"nearestpeer/internal/vivaldi"
+)
+
+func main() {
+	algo := flag.String("algo", "meridian",
+		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing")
+	ens := flag.Int("ens", 125, "end-networks per cluster")
+	peers := flag.Int("peers", 2500, "total peer population")
+	delta := flag.Float64("delta", 0.2, "intra-cluster latency variation δ")
+	queries := flag.Int("queries", 2000, "number of closest-peer queries")
+	beta := flag.Float64("beta", 0.5, "Meridian β acceptance threshold")
+	ringSize := flag.Int("ring", 16, "Meridian nodes per ring")
+	noise := flag.Float64("noise", 0, "probe jitter fraction (0 = noiseless, as in the paper's simulations)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := latency.DefaultClusteredConfig()
+	cfg.ENsPerCluster = *ens
+	cfg.TotalPeers = *peers
+	cfg.Delta = *delta
+	m, gt := latency.BuildClustered(cfg, *seed)
+	net := overlay.NewNetwork(m)
+	if *noise > 0 {
+		net.SetNoise(*noise, 0.3, *seed+11)
+	}
+	members, targets := overlay.Split(m.N(), 100, *seed+1)
+
+	var finder overlay.Finder
+	switch *algo {
+	case "meridian":
+		mc := meridian.DefaultConfig()
+		mc.Beta = *beta
+		mc.RingSize = *ringSize
+		mc.CandidatesPerNode = len(members)
+		finder = meridian.New(net, members, mc, *seed+2)
+	case "kargerruhl":
+		finder = kargerruhl.New(net, members, kargerruhl.DefaultConfig(), *seed+2)
+	case "tapestry":
+		finder = tapestry.New(net, members, tapestry.DefaultConfig(), *seed+2)
+	case "tiers":
+		finder = tiers.New(net, members, tiers.DefaultConfig(), *seed+2)
+	case "vivaldi":
+		sys := vivaldi.Build(net, members, vivaldi.DefaultConfig(), *seed+2)
+		finder = &vivaldi.Finder{Sys: sys, PlacementProbes: 16, VerifyTop: 8}
+	case "pic":
+		sys := vivaldi.Build(net, members, vivaldi.DefaultConfig(), *seed+2)
+		finder = pic.New(sys, pic.DefaultConfig(), *seed+3)
+	case "guyton":
+		finder = &beacon.GuytonSchwartz{Inf: beacon.New(net, members, beacon.DefaultConfig(), *seed+2)}
+	case "beaconing":
+		finder = &beacon.Beaconing{Inf: beacon.New(net, members, beacon.DefaultConfig(), *seed+2)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	fmt.Printf("algo=%s peers=%d ENs/cluster=%d (clusters=%d) δ=%.2f queries=%d noise=%.0f%%\n",
+		*algo, m.N(), *ens, gt.NumClusters, *delta, *queries, *noise*100)
+	fmt.Printf("overlay build: %d maintenance probes\n", net.MaintProbes())
+
+	src := rng.New(*seed + 4)
+	exact, inCluster := 0, 0
+	var probes, hops int64
+	net.ResetQueryProbes()
+	for q := 0; q < *queries; q++ {
+		tgt := targets[src.Intn(len(targets))]
+		res := finder.FindNearest(tgt)
+		probes += res.Probes
+		hops += int64(res.Hops)
+		oracle := overlay.TrueNearest(m, tgt, members)
+		if res.Peer == oracle.Peer {
+			exact++
+		}
+		if res.Peer >= 0 && gt.SameCluster(res.Peer, tgt) {
+			inCluster++
+		}
+	}
+	n := float64(*queries)
+	fmt.Printf("\nP(exact closest peer)   = %.3f\n", float64(exact)/n)
+	fmt.Printf("P(correct cluster)      = %.3f\n", float64(inCluster)/n)
+	fmt.Printf("mean probes per query   = %.1f\n", float64(probes)/n)
+	fmt.Printf("mean hops per query     = %.1f\n", float64(hops)/n)
+}

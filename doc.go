@@ -1,0 +1,14 @@
+// Package nearestpeer reproduces "On The Difficulty of Finding the Nearest
+// Peer in P2P Systems" (Vishnumurthy & Francis, IMC 2008) as a Go library:
+// a generative last-hop Internet model, the paper's measurement toolkit
+// (ping, rockettrace, TCP-ping, King), the full set of nearest-peer
+// algorithms it analyses (Meridian, Karger-Ruhl, Tapestry, Tiers, Vivaldi,
+// PIC, beacon schemes), the Section 5 mitigations (multicast, rendezvous,
+// UCL and IP-prefix DHT hints over Chord), and a harness regenerating every
+// table and figure of the evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds the
+// repository-level benchmark suite (bench_test.go), one benchmark per table
+// and figure.
+package nearestpeer

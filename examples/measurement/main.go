@@ -1,0 +1,96 @@
+// Measurement: a walk through the paper's Section 3 toolkit on the
+// simulated Internet — rockettrace a DNS server, locate its closest
+// upstream PoP, predict the latency between two servers of one PoP from
+// pings around their deepest common router, then check the prediction with
+// King. This is the methodology of Figures 2-5 in miniature.
+package main
+
+import (
+	"fmt"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+)
+
+func main() {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 77)
+	tools := measure.NewTools(top, measure.DefaultConfig(), 78)
+	vs, err := measure.SelectVantages(top, 1)
+	if err != nil {
+		panic(err)
+	}
+	mh := vs[0].Host
+	fmt.Printf("measurement host: %s (%s)\n\n", vs[0].Name, vs[0].City)
+
+	// Find two DNS servers behind one PoP, different domains.
+	servers := top.DNSServers()
+	var a, b netmodel.HostID = -1, -1
+	for i := 0; i < len(servers) && a < 0; i++ {
+		for j := i + 1; j < len(servers); j++ {
+			sa, sb := servers[i], servers[j]
+			if top.HostEN(sa).PoP == top.HostEN(sb).PoP &&
+				top.Hosts[sa].EN != top.Hosts[sb].EN &&
+				!tools.SameDomain(sa, sb) {
+				a, b = sa, sb
+				break
+			}
+		}
+	}
+	if a < 0 {
+		fmt.Println("no same-PoP DNS pair in this topology; re-seed")
+		return
+	}
+
+	fmt.Printf("server A: %s  server B: %s (same PoP, different end-networks)\n\n",
+		top.Host(a).IP, top.Host(b).IP)
+
+	// Rockettrace to A: annotated route.
+	fmt.Println("rockettrace to A:")
+	for i, hop := range tools.Rockettrace(mh, a) {
+		if !hop.Valid {
+			fmt.Printf("  %2d  *\n", i+1)
+			continue
+		}
+		note := ""
+		if hop.Annotated {
+			note = fmt.Sprintf("  [AS%d %s]", top.ASOf(hop.AS).Number, top.City(hop.City).Code)
+		}
+		fmt.Printf("  %2d  %-40s %7.2fms%s\n", i+1, hop.Name, netmodel.Ms(hop.RTT), note)
+	}
+	key, _, beyond, ok := tools.ClosestUpstreamPoP(mh, a)
+	if ok {
+		fmt.Printf("closest upstream PoP: AS%d in %s, server %d hops beyond it\n\n",
+			top.ASOf(key.AS).Number, top.City(key.City).Name, beyond)
+	}
+
+	// Deepest common router of the two traces.
+	ta := tools.Rockettrace(mh, a)
+	tb := tools.Rockettrace(mh, b)
+	r, _, _, belowPoP, ok := measure.DeepestCommonRouter(ta, tb)
+	if !ok {
+		fmt.Println("no common router visible; aborting")
+		return
+	}
+	fmt.Printf("deepest common router: %s (below the PoP: %v)\n", top.Router(r).Name, belowPoP)
+
+	// Predict: (ping A - ping R) + (ping B - ping R).
+	pa, _ := tools.Ping(mh, a)
+	pb, _ := tools.Ping(mh, b)
+	pr, err := tools.PingRouter(mh, r)
+	if err != nil {
+		fmt.Println("common router does not answer pings; aborting")
+		return
+	}
+	predicted := (netmodel.Ms(pa) - netmodel.Ms(pr)) + (netmodel.Ms(pb) - netmodel.Ms(pr))
+	fmt.Printf("predicted A<->B latency: %.2f ms\n", predicted)
+
+	// Measure with King.
+	if d, err := tools.King(mh, a, b); err == nil {
+		measured := netmodel.Ms(d)
+		fmt.Printf("King-measured A<->B:     %.2f ms\n", measured)
+		fmt.Printf("prediction measure:      %.2f (Figure 3's x-axis)\n", predicted/measured)
+	} else {
+		fmt.Printf("King failed: %v\n", err)
+	}
+	fmt.Printf("true A<->B RTT:          %.2f ms\n", top.RTTms(a, b))
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a small Internet, stand up the composite
+// nearest-peer service over a peer population, and find the nearest peer
+// for a few joining hosts — comparing each answer against the simulator's
+// ground truth.
+package main
+
+import (
+	"fmt"
+
+	"nearestpeer/internal/core"
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+)
+
+func main() {
+	// 1. A synthetic Internet: ISPs, PoPs, end-networks, broadband homes.
+	top := netmodel.Generate(netmodel.DefaultConfig(), 42)
+	tools := measure.NewTools(top, measure.DefaultConfig(), 43)
+	fmt.Printf("generated internet: %d hosts, %d routers, %d PoPs, %d end-networks\n",
+		len(top.Hosts), len(top.Routers), len(top.PoPs), len(top.ENs))
+
+	// 2. A P2P population: every host that accepts connections.
+	var peers []netmodel.HostID
+	for i := range top.Hosts {
+		if top.Hosts[i].RespondsTCP && top.Hosts[i].DNS == nil {
+			peers = append(peers, netmodel.HostID(i))
+		}
+	}
+	fmt.Printf("p2p population: %d peers\n", len(peers))
+
+	// 3. The composite service: multicast -> UCL -> IP-prefix -> Meridian.
+	svc := core.NewService(top, tools, peers, core.DefaultConfig(), 44)
+
+	// 4. New peers join and look for their nearest peer.
+	fmt.Printf("\n%8s %12s %12s %10s %-10s %s\n",
+		"peer", "found RTT", "oracle RTT", "probes", "method", "same end-network?")
+	shown := 0
+	for _, p := range peers {
+		res := svc.FindNearest(p)
+		if res.Peer < 0 {
+			continue
+		}
+		_, oracleLat := svc.TrueNearest(p)
+		fmt.Printf("%8d %9.3fms %9.3fms %10d %-10s %v\n",
+			p, res.RTTms, oracleLat, res.Probes, res.Method, top.SameEN(p, res.Peer))
+		shown++
+		if shown == 10 {
+			break
+		}
+	}
+
+	// 5. The clustering-condition detector from Section 2.1.
+	rep := svc.DetectClusteringCondition(peers[0], 40, 7)
+	fmt.Printf("\nclustering-condition check from peer %d: %s\n", peers[0], rep)
+}

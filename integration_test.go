@@ -1,0 +1,165 @@
+package nearestpeer
+
+// Repository-level integration tests: the full stack — topology,
+// measurement, DHT-backed hints, Meridian fallback — exercised together,
+// including failure injection (dark peers, anonymous routers everywhere,
+// churn in the hint DHT).
+
+import (
+	"testing"
+
+	"nearestpeer/internal/core"
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/ucl"
+)
+
+func buildStack(t *testing.T, topoSeed int64, mutate func(*netmodel.Config)) (*netmodel.Topology, *measure.Tools, []netmodel.HostID) {
+	t.Helper()
+	cfg := netmodel.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	top := netmodel.Generate(cfg, topoSeed)
+	tools := measure.NewTools(top, measure.DefaultConfig(), topoSeed+1)
+	var peers []netmodel.HostID
+	for i := range top.Hosts {
+		if top.Hosts[i].RespondsTCP && top.Hosts[i].DNS == nil {
+			peers = append(peers, netmodel.HostID(i))
+		}
+	}
+	return top, tools, peers
+}
+
+func TestEndToEndCascadeBeatsLatencyOnly(t *testing.T) {
+	top, tools, peers := buildStack(t, 31, nil)
+	if len(peers) > 700 {
+		peers = peers[:700]
+	}
+	var queriers []netmodel.HostID
+	for _, p := range peers {
+		for _, q := range peers {
+			if q != p && top.SameEN(p, q) {
+				queriers = append(queriers, p)
+				break
+			}
+		}
+		if len(queriers) == 30 {
+			break
+		}
+	}
+	if len(queriers) < 10 {
+		t.Skip("insufficient same-EN pairs")
+	}
+
+	full := core.NewService(top, tools, peers, core.DefaultConfig(), 5)
+	merOnly := core.DefaultConfig()
+	merOnly.UseMulticast, merOnly.UseUCL, merOnly.UsePrefix = false, false, false
+	meridianSvc := core.NewService(top, tools, peers, merOnly, 5)
+
+	fullHits, merHits := 0, 0
+	for _, q := range queriers {
+		if r := full.FindNearest(q); r.Peer >= 0 && top.SameEN(q, r.Peer) {
+			fullHits++
+		}
+		if r := meridianSvc.FindNearest(q); r.Peer >= 0 && top.SameEN(q, r.Peer) {
+			merHits++
+		}
+	}
+	if fullHits <= merHits {
+		t.Fatalf("cascade (%d/%d) did not beat Meridian-only (%d/%d)",
+			fullHits, len(queriers), merHits, len(queriers))
+	}
+	if fullHits < len(queriers)*3/4 {
+		t.Fatalf("cascade hit rate too low: %d/%d", fullHits, len(queriers))
+	}
+}
+
+func TestUCLSurvivesAnonymousRouters(t *testing.T) {
+	// Failure injection: half of all routers refuse traceroute. UCLs get
+	// thinner but the mechanism must keep working for visible chains.
+	top, tools, peers := buildStack(t, 33, func(c *netmodel.Config) {
+		c.AnonymousRouterProb = 0.5
+	})
+	if len(peers) > 400 {
+		peers = peers[:400]
+	}
+	nodes := make([]string, len(peers))
+	for i, p := range peers {
+		nodes[i] = top.Host(p).IP.String()
+	}
+	vs, err := measure.SelectVantages(top, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := []netmodel.HostID{vs[0].Host, vs[1].Host, vs[2].Host}
+	sys := ucl.New(tools, nodes, anchors, ucl.DefaultConfig())
+	for _, p := range peers {
+		sys.Join(p)
+	}
+	found := 0
+	for _, p := range peers[:80] {
+		if res := sys.FindNearest(p); res.Peer >= 0 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("UCL found nothing with 50% anonymous routers")
+	}
+}
+
+func TestCascadeWithDarkPopulation(t *testing.T) {
+	// Failure injection: almost nobody answers probes. The cascade must
+	// degrade gracefully (no panics, sane accounting), not succeed.
+	top, tools, peers := buildStack(t, 35, func(c *netmodel.Config) {
+		c.TCPRespProbHome, c.TCPRespProbCorp = 0.02, 0.02
+		c.PingRespProbHome, c.PingRespProbCorp = 0.01, 0.01
+	})
+	if len(peers) < 10 {
+		t.Skip("population too dark to form a service")
+	}
+	svc := core.NewService(top, tools, peers, core.DefaultConfig(), 5)
+	for _, p := range peers[:min(20, len(peers))] {
+		res := svc.FindNearest(p)
+		if res.Probes < 0 || res.Messages < 0 {
+			t.Fatal("negative accounting")
+		}
+	}
+}
+
+func TestUCLChurn(t *testing.T) {
+	// Peers leave; their mappings must disappear from query results.
+	top, tools, peers := buildStack(t, 37, nil)
+	if len(peers) > 300 {
+		peers = peers[:300]
+	}
+	nodes := make([]string, len(peers))
+	for i, p := range peers {
+		nodes[i] = top.Host(p).IP.String()
+	}
+	vs, err := measure.SelectVantages(top, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := []netmodel.HostID{vs[0].Host, vs[1].Host, vs[2].Host}
+	sys := ucl.New(tools, nodes, anchors, ucl.DefaultConfig())
+	for _, p := range peers {
+		sys.Join(p)
+	}
+	// Everyone leaves except one peer; queries must never return departed
+	// peers.
+	for _, p := range peers[1:] {
+		sys.Leave(p)
+	}
+	res := sys.FindNearest(peers[1])
+	if res.Peer >= 0 && res.Peer != peers[0] {
+		t.Fatalf("query returned departed peer %d", res.Peer)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

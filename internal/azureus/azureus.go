@@ -1,0 +1,76 @@
+// Package azureus synthesises the peer population of the paper's Section
+// 3.2 study: a list of Azureus client IP addresses (156,658 in the paper,
+// collected by Ledlie et al.) drawn mostly from residential broadband hosts
+// with a minority of campus/corporate hosts. The real trace is not
+// available; the pipeline that consumes the population (internal/cluster)
+// is identical to the paper's, so only the population itself is synthetic —
+// see DESIGN.md's substitution table.
+package azureus
+
+import (
+	"fmt"
+
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/rng"
+)
+
+// PaperPopulationSize is the number of Azureus IP addresses in the study.
+const PaperPopulationSize = 156658
+
+// Population is a set of candidate peer addresses with their hosts.
+type Population struct {
+	Hosts []netmodel.HostID
+}
+
+// Addresses returns the IP addresses of the population, the form the
+// original dataset takes.
+func (p *Population) Addresses(top *netmodel.Topology) []netmodel.IPv4 {
+	out := make([]netmodel.IPv4, len(p.Hosts))
+	for i, h := range p.Hosts {
+		out[i] = top.Host(h).IP
+	}
+	return out
+}
+
+// Sample draws a population of n peers, homeFrac of them home-broadband
+// hosts and the rest corporate/campus hosts (DNS servers are excluded:
+// they are infrastructure, not Azureus clients). If the topology holds
+// fewer eligible hosts than requested, Sample returns what exists.
+func Sample(top *netmodel.Topology, n int, homeFrac float64, seed int64) Population {
+	if homeFrac < 0 || homeFrac > 1 {
+		panic(fmt.Sprintf("azureus: homeFrac %v out of range", homeFrac))
+	}
+	var home, corp []netmodel.HostID
+	for i := range top.Hosts {
+		h := &top.Hosts[i]
+		if h.DNS != nil {
+			continue
+		}
+		if top.EN(h.EN).IsHome {
+			home = append(home, netmodel.HostID(i))
+		} else {
+			corp = append(corp, netmodel.HostID(i))
+		}
+	}
+	src := rng.New(seed)
+	shuffle(src, home)
+	shuffle(src, corp)
+
+	nHome := int(float64(n) * homeFrac)
+	if nHome > len(home) {
+		nHome = len(home)
+	}
+	nCorp := n - nHome
+	if nCorp > len(corp) {
+		nCorp = len(corp)
+	}
+	out := make([]netmodel.HostID, 0, nHome+nCorp)
+	out = append(out, home[:nHome]...)
+	out = append(out, corp[:nCorp]...)
+	shuffle(src, out)
+	return Population{Hosts: out}
+}
+
+func shuffle(src *rng.Source, xs []netmodel.HostID) {
+	src.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

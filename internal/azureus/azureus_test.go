@@ -1,0 +1,83 @@
+package azureus
+
+import (
+	"testing"
+
+	"nearestpeer/internal/netmodel"
+)
+
+func TestSampleComposition(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 2)
+	pop := Sample(top, 1000, 0.7, 5)
+	if len(pop.Hosts) == 0 {
+		t.Fatal("empty population")
+	}
+	nHome := 0
+	seen := make(map[netmodel.HostID]bool)
+	for _, h := range pop.Hosts {
+		if seen[h] {
+			t.Fatal("duplicate host sampled")
+		}
+		seen[h] = true
+		if top.Host(h).DNS != nil {
+			t.Fatal("DNS server sampled as Azureus peer")
+		}
+		if top.EN(top.Host(h).EN).IsHome {
+			nHome++
+		}
+	}
+	frac := float64(nHome) / float64(len(pop.Hosts))
+	// Exact fraction only when both pools are large enough; allow slack.
+	if len(pop.Hosts) == 1000 && (frac < 0.6 || frac > 0.8) {
+		t.Fatalf("home fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 2)
+	a := Sample(top, 500, 0.5, 9)
+	b := Sample(top, 500, 0.5, 9)
+	if len(a.Hosts) != len(b.Hosts) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Hosts {
+		if a.Hosts[i] != b.Hosts[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestSampleClampsToAvailable(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 2)
+	pop := Sample(top, 10_000_000, 0.85, 1)
+	if len(pop.Hosts) >= 10_000_000 {
+		t.Fatal("sampled more hosts than exist")
+	}
+	if len(pop.Hosts) == 0 {
+		t.Fatal("empty population")
+	}
+}
+
+func TestAddresses(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 2)
+	pop := Sample(top, 100, 0.5, 3)
+	addrs := pop.Addresses(top)
+	if len(addrs) != len(pop.Hosts) {
+		t.Fatal("address count mismatch")
+	}
+	for i, a := range addrs {
+		if id, ok := top.HostByIP(a); !ok || id != pop.Hosts[i] {
+			t.Fatal("address does not round-trip")
+		}
+	}
+}
+
+func TestSampleBadFractionPanics(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sample(top, 10, 1.5, 1)
+}

@@ -1,0 +1,211 @@
+// Package beacon implements the two centralised beacon-server approaches
+// of the paper's Section 6: Guyton–Schwartz triangulation (SIGCOMM 1995),
+// which estimates client-server distances from beacon measurements with
+// Hotz's metric, and Beaconing (Kommareddy, Shankar, Bhattacharjee — ICNP
+// 2001), where each beacon returns the set of peers at about the same
+// latency from itself as the querier and the querier probes that set.
+//
+// Both degrade identically under the clustering condition: most
+// end-networks host no beacon, so all peers of a cluster sit at nearly the
+// same latency from every beacon and become indistinguishable.
+package beacon
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/rng"
+)
+
+// Config parameterises the beacon infrastructure.
+type Config struct {
+	// NumBeacons is the number of beacon servers (drawn from members).
+	NumBeacons int
+	// Tolerance is Beaconing's "about the same latency" band: a member
+	// qualifies if its beacon latency is within (1±Tolerance)× the
+	// querier's.
+	Tolerance float64
+	// MaxCandidates caps how many returned peers the querier probes
+	// (closest-estimate first); 0 means no cap.
+	MaxCandidates int
+}
+
+// DefaultConfig uses 12 beacons and a ±15% band.
+func DefaultConfig() Config {
+	return Config{NumBeacons: 12, Tolerance: 0.15, MaxCandidates: 64}
+}
+
+// Infrastructure holds the beacon deployment: each beacon has measured its
+// latency to every member (maintenance, as these are standing measurements
+// the servers keep fresh).
+type Infrastructure struct {
+	cfg     Config
+	net     *overlay.Network
+	members []int
+	beacons []int
+	// lat[b][m] is the latency from beacon index b to member m.
+	lat []map[int]float64
+	src *rng.Source
+}
+
+// New deploys beacons on a random subset of members and takes the standing
+// measurements.
+func New(net *overlay.Network, members []int, cfg Config, seed int64) *Infrastructure {
+	if cfg.NumBeacons <= 0 || cfg.NumBeacons > len(members) {
+		panic(fmt.Sprintf("beacon: invalid beacon count %d for %d members", cfg.NumBeacons, len(members)))
+	}
+	src := rng.New(seed)
+	perm := src.Perm(len(members))
+	inf := &Infrastructure{
+		cfg:     cfg,
+		net:     net,
+		members: append([]int(nil), members...),
+		src:     src,
+	}
+	for i := 0; i < cfg.NumBeacons; i++ {
+		inf.beacons = append(inf.beacons, members[perm[i]])
+	}
+	for _, b := range inf.beacons {
+		row := make(map[int]float64, len(members))
+		for _, m := range members {
+			if m != b {
+				row[m] = net.MaintProbe(b, m)
+			}
+		}
+		inf.lat = append(inf.lat, row)
+	}
+	return inf
+}
+
+// Beacons returns the beacon hosts.
+func (inf *Infrastructure) Beacons() []int { return inf.beacons }
+
+// GuytonSchwartz is the triangulation finder: the target measures its
+// latency to every beacon (query probes); each member's distance is then
+// estimated with Hotz's metric — the midpoint of the triangulation bounds
+// max_b |d(b,m) − d(b,t)| ≤ d(m,t) ≤ min_b (d(b,m) + d(b,t)) — and the
+// member with the least estimate is returned (verified with one probe).
+type GuytonSchwartz struct {
+	Inf *Infrastructure
+}
+
+// FindNearest implements overlay.Finder.
+func (g *GuytonSchwartz) FindNearest(target int) overlay.Result {
+	inf := g.Inf
+	var probes int64
+	toBeacon := make([]float64, len(inf.beacons))
+	for i, b := range inf.beacons {
+		toBeacon[i] = inf.net.Probe(target, b)
+		probes++
+	}
+	best, bestEst := -1, math.Inf(1)
+	for _, m := range inf.members {
+		if m == target {
+			continue
+		}
+		lower, upper := 0.0, math.Inf(1)
+		for i := range inf.beacons {
+			bm, ok := inf.lat[i][m]
+			if !ok { // m is this beacon
+				bm = 0
+			}
+			if l := math.Abs(bm - toBeacon[i]); l > lower {
+				lower = l
+			}
+			if u := bm + toBeacon[i]; u < upper {
+				upper = u
+			}
+		}
+		est := (lower + upper) / 2
+		if est < bestEst {
+			best, bestEst = m, est
+		}
+	}
+	lat := inf.net.Probe(target, best)
+	probes++
+	return overlay.Result{Peer: best, LatencyMs: lat, Probes: probes, Hops: 0}
+}
+
+// Beaconing is the ICNP 2001 finder: each beacon returns the members whose
+// latency to it falls within the tolerance band around the target's; the
+// target probes the intersection (falling back to the union when the
+// intersection is empty), closest Hotz estimate first, and returns the best
+// probed peer.
+type Beaconing struct {
+	Inf *Infrastructure
+}
+
+// FindNearest implements overlay.Finder.
+func (b *Beaconing) FindNearest(target int) overlay.Result {
+	inf := b.Inf
+	var probes int64
+	toBeacon := make([]float64, len(inf.beacons))
+	for i, bc := range inf.beacons {
+		toBeacon[i] = inf.net.Probe(target, bc)
+		probes++
+	}
+	// Count, per member, how many beacons place it in the band.
+	votes := make(map[int]int)
+	for i := range inf.beacons {
+		lo := toBeacon[i] * (1 - inf.cfg.Tolerance)
+		hi := toBeacon[i] * (1 + inf.cfg.Tolerance)
+		for _, m := range inf.members {
+			if m == target {
+				continue
+			}
+			if l, ok := inf.lat[i][m]; ok && l >= lo && l <= hi {
+				votes[m]++
+			}
+		}
+	}
+	if len(votes) == 0 {
+		// Degenerate: fall back to probing a random member.
+		m := inf.members[inf.src.Intn(len(inf.members))]
+		l := inf.net.Probe(target, m)
+		probes++
+		return overlay.Result{Peer: m, LatencyMs: l, Probes: probes, Hops: 0}
+	}
+	// Prefer members every beacon agrees on; rank by vote count then by
+	// the triangulation lower bound.
+	type cand struct {
+		id    int
+		votes int
+		est   float64
+	}
+	cands := make([]cand, 0, len(votes))
+	for m, v := range votes {
+		lower := 0.0
+		for i := range inf.beacons {
+			if l, ok := inf.lat[i][m]; ok {
+				if d := math.Abs(l - toBeacon[i]); d > lower {
+					lower = d
+				}
+			}
+		}
+		cands = append(cands, cand{id: m, votes: v, est: lower})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].votes != cands[j].votes {
+			return cands[i].votes > cands[j].votes
+		}
+		if cands[i].est != cands[j].est {
+			return cands[i].est < cands[j].est
+		}
+		return cands[i].id < cands[j].id
+	})
+	limit := inf.cfg.MaxCandidates
+	if limit <= 0 || limit > len(cands) {
+		limit = len(cands)
+	}
+	best, bestLat := -1, math.Inf(1)
+	for _, c := range cands[:limit] {
+		l := inf.net.Probe(target, c.id)
+		probes++
+		if l < bestLat {
+			best, bestLat = c.id, l
+		}
+	}
+	return overlay.Result{Peer: best, LatencyMs: bestLat, Probes: probes, Hops: 0}
+}

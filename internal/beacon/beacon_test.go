@@ -1,0 +1,116 @@
+package beacon
+
+import (
+	"testing"
+
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/testmat"
+)
+
+func TestInfrastructure(t *testing.T) {
+	m := testmat.Euclidean(200, 1)
+	net := overlay.NewNetwork(m)
+	members, _ := overlay.Split(200, 20, 2)
+	inf := New(net, members, DefaultConfig(), 3)
+	if len(inf.Beacons()) != DefaultConfig().NumBeacons {
+		t.Fatalf("beacons = %d", len(inf.Beacons()))
+	}
+	// Standing measurements exist for all members.
+	for i := range inf.beacons {
+		if len(inf.lat[i]) != len(members)-1 {
+			t.Fatalf("beacon %d measured %d members", i, len(inf.lat[i]))
+		}
+	}
+	if net.MaintProbes() == 0 {
+		t.Fatal("no maintenance probes recorded")
+	}
+}
+
+func TestGuytonSchwartzEuclidean(t *testing.T) {
+	const n = 300
+	m := testmat.Euclidean(n, 7)
+	net := overlay.NewNetwork(m)
+	members, targets := overlay.Split(n, 30, 5)
+	inf := New(net, members, DefaultConfig(), 9)
+	f := &GuytonSchwartz{Inf: inf}
+
+	good := 0
+	for _, tgt := range targets {
+		res := f.FindNearest(tgt)
+		oracle := overlay.TrueNearest(m, tgt, members)
+		if res.LatencyMs <= 3*oracle.LatencyMs+2 {
+			good++
+		}
+		wantProbes := int64(DefaultConfig().NumBeacons + 1)
+		if res.Probes != wantProbes {
+			t.Fatalf("probes = %d, want %d", res.Probes, wantProbes)
+		}
+	}
+	if good < len(targets)/2 {
+		t.Fatalf("only %d/%d triangulations near-optimal", good, len(targets))
+	}
+}
+
+func TestBeaconingEuclidean(t *testing.T) {
+	const n = 300
+	m := testmat.Euclidean(n, 7)
+	net := overlay.NewNetwork(m)
+	members, targets := overlay.Split(n, 30, 5)
+	inf := New(net, members, DefaultConfig(), 9)
+	f := &Beaconing{Inf: inf}
+
+	good := 0
+	for _, tgt := range targets {
+		res := f.FindNearest(tgt)
+		oracle := overlay.TrueNearest(m, tgt, members)
+		if res.LatencyMs <= 3*oracle.LatencyMs+2 {
+			good++
+		}
+		if res.Probes <= int64(DefaultConfig().NumBeacons) {
+			t.Fatalf("probes = %d, expected beacon probes plus candidates", res.Probes)
+		}
+	}
+	if good < len(targets)/2 {
+		t.Fatalf("only %d/%d beaconing queries near-optimal", good, len(targets))
+	}
+}
+
+func TestClusteringMakesPeersIndistinguishable(t *testing.T) {
+	// Under the clustering condition all cluster peers have nearly equal
+	// latencies to every beacon. With realistic measurement jitter those
+	// sub-millisecond differences are unreadable, so neither scheme should
+	// reliably find the same-EN partner. (Noiseless, the simulator would
+	// let triangulation exploit infinite precision — exactly the
+	// reliability the paper's clustering condition rules out.)
+	m, gt := testmat.Clustered(100, 1000, 11)
+	net := overlay.NewNetwork(m)
+	net.SetNoise(0.05, 0.5, 77)
+	members, targets := overlay.Split(m.N(), 80, 3)
+	inf := New(net, members, DefaultConfig(), 5)
+	for name, f := range map[string]overlay.Finder{
+		"guyton-schwartz": &GuytonSchwartz{Inf: inf},
+		"beaconing":       &Beaconing{Inf: inf},
+	} {
+		exact := 0
+		for _, tgt := range targets {
+			res := f.FindNearest(tgt)
+			if res.Peer >= 0 && gt.SameEN(res.Peer, tgt) {
+				exact++
+			}
+		}
+		if frac := float64(exact) / float64(len(targets)); frac > 0.45 {
+			t.Fatalf("%s exact rate %v under clustering; expected failure", name, frac)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.NumBeacons = 0
+	New(overlay.NewNetwork(testmat.Euclidean(10, 1)), []int{0, 1}, cfg, 1)
+}

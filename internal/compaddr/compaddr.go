@@ -1,0 +1,105 @@
+// Package compaddr implements the composite proximity addresses the paper
+// proposes at the end of Section 5: a latency-based proximity address (a
+// network coordinate) extended with the peer's UCL. "When comparing two
+// such composite addresses, if the UCL indicates that the nodes share an
+// upstream router, then the nodes are considered to be close together and
+// the proximity address may be ignored. If the two nodes do not share an
+// upstream router, then the UCL is ignored."
+//
+// This turns the UCL into a drop-in upgrade for any coordinate system
+// (Vivaldi, PIC, GNP): coordinate comparisons stay cheap and scalable,
+// while same-extended-LAN peers — invisible to coordinates under the
+// clustering condition — become exactly identifiable.
+package compaddr
+
+import (
+	"sort"
+
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/ucl"
+	"nearestpeer/internal/vivaldi"
+)
+
+// Address is a composite proximity address.
+type Address struct {
+	// Coord is the latency-based proximity address.
+	Coord *vivaldi.Coord
+	// UCL lists the peer's upstream routers with its RTT to each.
+	UCL []ucl.Published
+}
+
+// New assembles a composite address.
+func New(coord *vivaldi.Coord, uclEntries []ucl.Published) Address {
+	return Address{Coord: coord, UCL: uclEntries}
+}
+
+// SharedRouter reports whether two addresses share an upstream router, and
+// if so the latency estimate through the closest shared one (the sum of the
+// two sides' RTTs to it).
+func SharedRouter(a, b Address) (netmodel.RouterID, float64, bool) {
+	byRouter := make(map[netmodel.RouterID]float64, len(a.UCL))
+	for _, p := range a.UCL {
+		if old, ok := byRouter[p.Router]; !ok || p.Entry.RTTms < old {
+			byRouter[p.Router] = p.Entry.RTTms
+		}
+	}
+	best := netmodel.NoRouter
+	bestEst := 0.0
+	for _, p := range b.UCL {
+		if aRTT, ok := byRouter[p.Router]; ok {
+			est := aRTT + p.Entry.RTTms
+			if best == netmodel.NoRouter || est < bestEst {
+				best, bestEst = p.Router, est
+			}
+		}
+	}
+	return best, bestEst, best != netmodel.NoRouter
+}
+
+// DistanceMs predicts the RTT between two composite addresses: the
+// UCL-derived estimate when the nodes share an upstream router, the
+// coordinate distance otherwise.
+func DistanceMs(a, b Address) float64 {
+	if _, est, ok := SharedRouter(a, b); ok {
+		return est
+	}
+	return a.Coord.DistanceMs(b.Coord)
+}
+
+// Nearest ranks candidate addresses by composite distance to a and returns
+// the indices of the k best (shared-router candidates first, then by
+// predicted distance) — the selection a coordinate-based system would run,
+// upgraded.
+func Nearest(a Address, candidates []Address, k int) []int {
+	type scored struct {
+		idx    int
+		shared bool
+		dist   float64
+	}
+	out := make([]scored, 0, len(candidates))
+	for i, c := range candidates {
+		_, est, ok := SharedRouter(a, c)
+		d := est
+		if !ok {
+			d = a.Coord.DistanceMs(c.Coord)
+		}
+		out = append(out, scored{idx: i, shared: ok, dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].shared != out[j].shared {
+			return out[i].shared
+		}
+		if out[i].dist != out[j].dist {
+			return out[i].dist < out[j].dist
+		}
+		return out[i].idx < out[j].idx
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	idxs := make([]int, k)
+	for i := 0; i < k; i++ {
+		idxs[i] = out[i].idx
+	}
+	return idxs
+}

@@ -1,0 +1,123 @@
+package compaddr
+
+import (
+	"testing"
+
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/ucl"
+	"nearestpeer/internal/vivaldi"
+)
+
+func coordAt(x float64) *vivaldi.Coord {
+	c := vivaldi.NewCoord(2)
+	c.Vec[0] = x
+	return c
+}
+
+func pub(r netmodel.RouterID, rtt float64) ucl.Published {
+	return ucl.Published{Router: r, Entry: ucl.Entry{RTTms: rtt}}
+}
+
+func TestSharedRouterPicksClosest(t *testing.T) {
+	a := New(coordAt(0), []ucl.Published{pub(1, 2), pub(2, 0.5)})
+	b := New(coordAt(50), []ucl.Published{pub(2, 0.7), pub(1, 3)})
+	r, est, ok := SharedRouter(a, b)
+	if !ok {
+		t.Fatal("shared router missed")
+	}
+	if r != 2 || est != 1.2 {
+		t.Fatalf("got router %d est %v, want router 2 est 1.2", r, est)
+	}
+}
+
+func TestSharedRouterAbsent(t *testing.T) {
+	a := New(coordAt(0), []ucl.Published{pub(1, 2)})
+	b := New(coordAt(50), []ucl.Published{pub(9, 3)})
+	if _, _, ok := SharedRouter(a, b); ok {
+		t.Fatal("false shared router")
+	}
+}
+
+func TestDistanceUsesUCLWhenShared(t *testing.T) {
+	// Coordinates say 50 ms apart; the shared router says 1.2 ms. The
+	// composite must believe the UCL — "the proximity address may be
+	// ignored".
+	a := New(coordAt(0), []ucl.Published{pub(2, 0.5)})
+	b := New(coordAt(50), []ucl.Published{pub(2, 0.7)})
+	if d := DistanceMs(a, b); d != 1.2 {
+		t.Fatalf("distance %v, want UCL estimate 1.2", d)
+	}
+}
+
+func TestDistanceFallsBackToCoords(t *testing.T) {
+	a := New(coordAt(0), []ucl.Published{pub(1, 2)})
+	b := New(coordAt(30), []ucl.Published{pub(9, 3)})
+	want := a.Coord.DistanceMs(b.Coord)
+	if d := DistanceMs(a, b); d != want {
+		t.Fatalf("distance %v, want coordinate %v", d, want)
+	}
+}
+
+func TestNearestPrefersSharedRouter(t *testing.T) {
+	// Candidate 0: coordinate-near but no shared router. Candidate 1:
+	// coordinate-far but shares an upstream router (the same-LAN case the
+	// clustering condition hides from coordinates).
+	me := New(coordAt(0), []ucl.Published{pub(7, 0.1)})
+	cands := []Address{
+		New(coordAt(1), []ucl.Published{pub(9, 1)}),
+		New(coordAt(40), []ucl.Published{pub(7, 0.2)}),
+	}
+	got := Nearest(me, cands, 2)
+	if got[0] != 1 {
+		t.Fatalf("nearest = %v, want shared-router candidate first", got)
+	}
+}
+
+func TestNearestBounded(t *testing.T) {
+	me := New(coordAt(0), nil)
+	cands := []Address{New(coordAt(1), nil), New(coordAt(2), nil)}
+	if got := Nearest(me, cands, 5); len(got) != 2 {
+		t.Fatalf("k clamp failed: %v", got)
+	}
+	if got := Nearest(me, cands, 1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("ranking wrong: %v", got)
+	}
+}
+
+// TestEndToEndOverTopology: composite addresses built from real topology
+// UCLs identify same-EN peers that Vivaldi coordinates alone cannot.
+func TestEndToEndOverTopology(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 51)
+	// Two hosts in one EN plus one in a different PoP.
+	var a, b netmodel.HostID = -1, -1
+	for i := range top.ENs {
+		en := &top.ENs[i]
+		if !en.IsHome && len(en.Hosts) >= 2 {
+			edge := en.EdgeRouter()
+			if edge != netmodel.NoRouter && !top.Router(edge).Anonymous {
+				a, b = en.Hosts[0], en.Hosts[1]
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no suitable EN")
+	}
+	edge := top.HostEN(a).EdgeRouter()
+	mk := func(h netmodel.HostID, coordX float64) Address {
+		return New(coordAt(coordX), []ucl.Published{
+			pub(edge, top.RouterRTTms(h, edge)),
+		})
+	}
+	// Under the clustering condition both get nearly identical coords;
+	// give them identical ones to model the collapse exactly.
+	addrA, addrB := mk(a, 10), mk(b, 10)
+	_, est, ok := SharedRouter(addrA, addrB)
+	if !ok {
+		t.Fatal("same-EN pair shares no router")
+	}
+	truth := top.RTTms(a, b)
+	if est < truth*0.2 || est > truth*5+1 {
+		t.Fatalf("UCL estimate %v vs truth %v", est, truth)
+	}
+}

@@ -1,0 +1,304 @@
+// Package core is the library's public face: a NearestPeer service that
+// deploys the paper's recommended combination of mechanisms over a P2P
+// population — multicast search inside the end-network, the UCL and
+// IP-prefix DHT hints, and a Meridian overlay as the latency-only fallback
+// — plus a clustering-condition detector implementing the Section 2.1
+// definition, so an application can tell when latency-only search is going
+// to struggle.
+//
+// The paper's conclusion, made executable: "the three approaches would be
+// used in conjunction with existing near-peer finding algorithms (and with
+// one another) to obtain maximum accuracy in finding the nearest peer."
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/meridian"
+	"nearestpeer/internal/multicast"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/ucl"
+
+	"nearestpeer/internal/ipprefix"
+)
+
+// Method identifies which mechanism produced a result.
+type Method string
+
+// The methods a Service composes.
+const (
+	MethodMulticast Method = "multicast"
+	MethodUCL       Method = "ucl"
+	MethodPrefix    Method = "ipprefix"
+	MethodMeridian  Method = "meridian"
+	MethodNone      Method = "none"
+)
+
+// Config assembles the composite service.
+type Config struct {
+	// UseMulticast / UseUCL / UsePrefix / UseMeridian toggle stages.
+	UseMulticast bool
+	UseUCL       bool
+	UsePrefix    bool
+	UseMeridian  bool
+	// SatisfiedMs stops the cascade early once a peer at or under this
+	// RTT is found (same-extended-LAN latencies are sub-millisecond).
+	SatisfiedMs float64
+
+	Multicast multicast.Config
+	UCL       ucl.Config
+	Prefix    ipprefix.Config
+	Meridian  meridian.Config
+}
+
+// DefaultConfig enables the full cascade.
+func DefaultConfig() Config {
+	return Config{
+		UseMulticast: true,
+		UseUCL:       true,
+		UsePrefix:    true,
+		UseMeridian:  true,
+		SatisfiedMs:  1.0,
+		Multicast:    multicast.DefaultConfig(),
+		UCL:          ucl.DefaultConfig(),
+		Prefix:       ipprefix.DefaultConfig(),
+		Meridian:     meridian.DefaultConfig(),
+	}
+}
+
+// Result is the composite outcome.
+type Result struct {
+	// Peer is the nearest peer found (-1 when every stage failed).
+	Peer netmodel.HostID
+	// RTTms is the measured RTT to Peer.
+	RTTms float64
+	// Method is the stage that produced Peer.
+	Method Method
+	// Probes is the total number of latency measurements across stages.
+	Probes int64
+	// Messages counts multicast messages and DHT lookups.
+	Messages int64
+	// StagesRun lists the methods attempted, in order.
+	StagesRun []Method
+}
+
+// Service is the composite nearest-peer service over a peer population.
+type Service struct {
+	cfg   Config
+	top   *netmodel.Topology
+	tools *measure.Tools
+	peers []netmodel.HostID
+
+	searcher *multicast.Searcher
+	uclSys   *ucl.System
+	prefix   *ipprefix.System
+	mer      *meridian.Overlay
+	merNet   *overlay.Network
+}
+
+// NewService deploys the configured mechanisms over the given peers. The
+// peers are registered in every enabled subsystem (multicast groups, UCL
+// and prefix DHT mappings, the Meridian overlay).
+func NewService(top *netmodel.Topology, tools *measure.Tools, peers []netmodel.HostID, cfg Config, seed int64) *Service {
+	if len(peers) == 0 {
+		panic("core: no peers")
+	}
+	s := &Service{
+		cfg:   cfg,
+		top:   top,
+		tools: tools,
+		peers: append([]netmodel.HostID(nil), peers...),
+	}
+	src := rng.New(seed)
+
+	if cfg.UseMulticast {
+		reg := multicast.NewRegistry(top, s.peers)
+		s.searcher = multicast.NewSearcher(top, reg, cfg.Multicast, src.Split("multicast").Seed())
+	}
+	if cfg.UseUCL || cfg.UsePrefix {
+		// The peers themselves host the DHT.
+		nodes := make([]string, 0, len(s.peers))
+		for _, p := range s.peers {
+			nodes = append(nodes, top.Host(p).IP.String())
+		}
+		anchors := pickAnchors(top, s.peers, 5, src.Split("anchors"))
+		if cfg.UseUCL {
+			s.uclSys = ucl.New(tools, nodes, anchors, cfg.UCL)
+			for _, p := range s.peers {
+				s.uclSys.Join(p)
+			}
+		}
+		if cfg.UsePrefix {
+			s.prefix = ipprefix.New(tools, nodes, cfg.Prefix)
+			for _, p := range s.peers {
+				s.prefix.Join(p)
+			}
+		}
+	}
+	if cfg.UseMeridian {
+		s.merNet = overlay.NewNetwork(&latency.FullTopologyMatrix{Top: top})
+		members := make([]int, len(s.peers))
+		for i, p := range s.peers {
+			members[i] = int(p)
+		}
+		s.mer = meridian.New(s.merNet, members, cfg.Meridian, src.Split("meridian").Seed())
+	}
+	return s
+}
+
+// pickAnchors selects well-spread hosts to serve as traceroute anchors.
+func pickAnchors(top *netmodel.Topology, peers []netmodel.HostID, n int, src *rng.Source) []netmodel.HostID {
+	var anchors []netmodel.HostID
+	usedCity := make(map[netmodel.CityID]bool)
+	perm := src.Perm(top.NumHosts())
+	for _, idx := range perm {
+		h := netmodel.HostID(idx)
+		city := top.PoP(top.HostEN(h).PoP).City
+		if usedCity[city] {
+			continue
+		}
+		usedCity[city] = true
+		anchors = append(anchors, h)
+		if len(anchors) == n {
+			break
+		}
+	}
+	if len(anchors) == 0 {
+		anchors = append(anchors, peers[0])
+	}
+	return anchors
+}
+
+// FindNearest runs the cascade for a joining peer (not necessarily a
+// current member) and returns the best peer found with full cost
+// accounting.
+func (s *Service) FindNearest(target netmodel.HostID) Result {
+	res := Result{Peer: -1, RTTms: math.Inf(1), Method: MethodNone}
+	better := func(peer netmodel.HostID, rtt float64, m Method) {
+		if peer >= 0 && peer != target && rtt < res.RTTms {
+			res.Peer, res.RTTms, res.Method = peer, rtt, m
+		}
+	}
+
+	if s.searcher != nil {
+		res.StagesRun = append(res.StagesRun, MethodMulticast)
+		r := s.searcher.Search(target)
+		res.Messages += int64(r.Messages)
+		better(r.Peer, r.RTTms, MethodMulticast)
+		if res.RTTms <= s.cfg.SatisfiedMs {
+			return res
+		}
+	}
+	if s.uclSys != nil {
+		res.StagesRun = append(res.StagesRun, MethodUCL)
+		r := s.uclSys.FindNearest(target)
+		res.Probes += int64(r.Probes)
+		res.Messages += int64(r.Lookups)
+		better(r.Peer, r.RTTms, MethodUCL)
+		if res.RTTms <= s.cfg.SatisfiedMs {
+			return res
+		}
+	}
+	if s.prefix != nil {
+		res.StagesRun = append(res.StagesRun, MethodPrefix)
+		r := s.prefix.FindNearest(target)
+		res.Probes += int64(r.Probes)
+		res.Messages += int64(r.Lookups)
+		better(r.Peer, r.RTTms, MethodPrefix)
+		if res.RTTms <= s.cfg.SatisfiedMs {
+			return res
+		}
+	}
+	if s.mer != nil {
+		res.StagesRun = append(res.StagesRun, MethodMeridian)
+		r := s.mer.FindNearest(int(target))
+		res.Probes += r.Probes
+		better(netmodel.HostID(r.Peer), r.LatencyMs, MethodMeridian)
+	}
+	return res
+}
+
+// Peers returns the registered population.
+func (s *Service) Peers() []netmodel.HostID { return s.peers }
+
+// TrueNearest returns the ground-truth nearest member to target, which
+// only the simulator can know.
+func (s *Service) TrueNearest(target netmodel.HostID) (netmodel.HostID, float64) {
+	best, bestLat := netmodel.HostID(-1), math.Inf(1)
+	for _, p := range s.peers {
+		if p == target {
+			continue
+		}
+		if l := s.top.RTTms(target, p); l < bestLat {
+			best, bestLat = p, l
+		}
+	}
+	return best, bestLat
+}
+
+// ClusterReport is the output of the clustering-condition detector.
+type ClusterReport struct {
+	// Sampled is the number of peers probed.
+	Sampled int
+	// MedianMs is the median RTT to the sampled peers.
+	MedianMs float64
+	// BandFraction is the fraction of sampled peers within a factor-1.5
+	// latency band around the median — Section 3.2's indistinguishability
+	// criterion.
+	BandFraction float64
+	// Suspected is true when the population looks like a cluster: many
+	// peers, most in the band, at non-LAN latencies.
+	Suspected bool
+}
+
+// String renders the report.
+func (r ClusterReport) String() string {
+	return fmt.Sprintf("sampled=%d median=%.2fms band=%.0f%% suspected=%v",
+		r.Sampled, r.MedianMs, r.BandFraction*100, r.Suspected)
+}
+
+// DetectClusteringCondition probes up to sampleSize random peers from the
+// population and checks the Section 2.1 criteria: a large number of peers
+// at about the same (non-LAN) latency from the observer. Applications can
+// use this to decide whether a latency-only search is worth running.
+func (s *Service) DetectClusteringCondition(from netmodel.HostID, sampleSize int, seed int64) ClusterReport {
+	src := rng.New(seed)
+	var lats []float64
+	perm := src.Perm(len(s.peers))
+	for _, i := range perm {
+		p := s.peers[i]
+		if p == from {
+			continue
+		}
+		d, err := s.tools.LatencyTo(from, p)
+		if err != nil {
+			continue
+		}
+		lats = append(lats, netmodel.Ms(d))
+		if len(lats) >= sampleSize {
+			break
+		}
+	}
+	rep := ClusterReport{Sampled: len(lats)}
+	if len(lats) == 0 {
+		return rep
+	}
+	sort.Float64s(lats)
+	med := lats[len(lats)/2]
+	rep.MedianMs = med
+	inBand := 0
+	for _, l := range lats {
+		if l >= med/1.5 && l <= med*1.5 {
+			inBand++
+		}
+	}
+	rep.BandFraction = float64(inBand) / float64(len(lats))
+	rep.Suspected = rep.Sampled >= 10 && rep.BandFraction >= 0.5 && med > 2
+	return rep
+}

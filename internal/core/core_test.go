@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+)
+
+func fixture(t *testing.T, cfg Config) (*netmodel.Topology, *Service, []netmodel.HostID) {
+	t.Helper()
+	top := netmodel.Generate(netmodel.DefaultConfig(), 12)
+	tools := measure.NewTools(top, measure.DefaultConfig(), 9)
+	var peers []netmodel.HostID
+	for i := range top.Hosts {
+		if top.Hosts[i].RespondsTCP && top.Hosts[i].DNS == nil {
+			peers = append(peers, netmodel.HostID(i))
+		}
+	}
+	if len(peers) > 600 {
+		peers = peers[:600]
+	}
+	svc := NewService(top, tools, peers, cfg, 5)
+	return top, svc, peers
+}
+
+func TestCascadeFindsSameENPeers(t *testing.T) {
+	top, svc, peers := fixture(t, DefaultConfig())
+	attempts, hits := 0, 0
+	for _, p := range peers {
+		partner := false
+		for _, q := range peers {
+			if q != p && top.SameEN(p, q) {
+				partner = true
+				break
+			}
+		}
+		if !partner {
+			continue
+		}
+		attempts++
+		res := svc.FindNearest(p)
+		if res.Peer >= 0 && top.SameEN(p, res.Peer) {
+			hits++
+		}
+		if attempts >= 25 {
+			break
+		}
+	}
+	if attempts < 5 {
+		t.Skip("insufficient eligible peers")
+	}
+	if frac := float64(hits) / float64(attempts); frac < 0.7 {
+		t.Fatalf("composite hit rate %.2f (%d/%d)", frac, hits, attempts)
+	}
+}
+
+func TestCascadeStopsWhenSatisfied(t *testing.T) {
+	top, svc, peers := fixture(t, DefaultConfig())
+	for _, p := range peers[:40] {
+		res := svc.FindNearest(p)
+		if res.Peer < 0 {
+			continue
+		}
+		if res.RTTms <= svc.cfg.SatisfiedMs && len(res.StagesRun) == 4 {
+			// Satisfied results must have short-circuited unless the
+			// last stage produced them.
+			if res.Method == MethodMeridian {
+				continue
+			}
+			t.Fatalf("satisfied result (%.3f ms via %s) ran all stages", res.RTTms, res.Method)
+		}
+		_ = top
+	}
+}
+
+func TestMeridianOnlyFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseMulticast = false
+	cfg.UseUCL = false
+	cfg.UsePrefix = false
+	_, svc, peers := fixture(t, cfg)
+	res := svc.FindNearest(peers[0])
+	if res.Method != MethodMeridian && res.Peer >= 0 {
+		t.Fatalf("method = %s", res.Method)
+	}
+	if len(res.StagesRun) != 1 || res.StagesRun[0] != MethodMeridian {
+		t.Fatalf("stages = %v", res.StagesRun)
+	}
+}
+
+func TestResultAgainstOracle(t *testing.T) {
+	top, svc, peers := fixture(t, DefaultConfig())
+	worse := 0
+	n := 0
+	for _, p := range peers[:30] {
+		res := svc.FindNearest(p)
+		if res.Peer < 0 {
+			continue
+		}
+		n++
+		_, oracleLat := svc.TrueNearest(p)
+		if res.RTTms > 10*oracleLat+5 {
+			worse++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no results")
+	}
+	if worse > n/2 {
+		t.Fatalf("%d/%d results far from oracle", worse, n)
+	}
+	_ = top
+}
+
+func TestDetectClusteringCondition(t *testing.T) {
+	top, svc, peers := fixture(t, DefaultConfig())
+	// A home peer behind a busy PoP should see many peers at similar
+	// latencies; the report must be well-formed either way.
+	rep := svc.DetectClusteringCondition(peers[0], 40, 7)
+	if rep.Sampled == 0 {
+		t.Skip("no responsive sample")
+	}
+	if rep.BandFraction < 0 || rep.BandFraction > 1 {
+		t.Fatalf("band fraction %v", rep.BandFraction)
+	}
+	if rep.MedianMs <= 0 {
+		t.Fatalf("median %v", rep.MedianMs)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+	_ = top
+}
+
+func TestEmptyPeersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewService(nil, nil, nil, DefaultConfig(), 1)
+}

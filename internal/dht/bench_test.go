@@ -1,0 +1,34 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	r := New(addrs(256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Put(fmt.Sprintf("key-%d", i%1000), []byte("v"))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	r := New(addrs(256))
+	for i := 0; i < 1000; i++ {
+		r.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Get(fmt.Sprintf("key-%d", i%1000))
+	}
+}
+
+func BenchmarkLookupRouting(b *testing.B) {
+	r := New(addrs(1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := HashKey(fmt.Sprintf("key-%d", i))
+		_, _ = r.lookup(r.ids[i%len(r.ids)], k)
+	}
+}

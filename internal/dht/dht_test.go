@@ -1,0 +1,199 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func addrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%04d", i)
+	}
+	return out
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := New(addrs(50))
+	r.Put("router-10.0.0.1", []byte("peer-a"))
+	r.Put("router-10.0.0.1", []byte("peer-b"))
+	r.Put("router-10.0.0.2", []byte("peer-c"))
+
+	got := r.Get("router-10.0.0.1")
+	if len(got) != 2 {
+		t.Fatalf("got %d values", len(got))
+	}
+	if string(got[0]) != "peer-a" || string(got[1]) != "peer-b" {
+		t.Fatalf("values = %q", got)
+	}
+	if v := r.Get("router-10.0.0.2"); len(v) != 1 || string(v[0]) != "peer-c" {
+		t.Fatalf("second key = %q", v)
+	}
+	if v := r.Get("missing"); len(v) != 0 {
+		t.Fatalf("missing key returned %q", v)
+	}
+}
+
+func TestGetReturnsCopies(t *testing.T) {
+	r := New(addrs(10))
+	r.Put("k", []byte("value"))
+	got := r.Get("k")
+	got[0][0] = 'X'
+	if string(r.Get("k")[0]) != "value" {
+		t.Fatal("Get exposed internal storage")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New(addrs(20))
+	r.Put("k", []byte("a"))
+	r.Put("k", []byte("b"))
+	r.Remove("k", []byte("a"))
+	got := r.Get("k")
+	if len(got) != 1 || string(got[0]) != "b" {
+		t.Fatalf("after remove: %q", got)
+	}
+	r.Remove("k", []byte("b"))
+	if len(r.Get("k")) != 0 {
+		t.Fatal("key not fully removed")
+	}
+}
+
+func TestKeysLandOnSuccessor(t *testing.T) {
+	r := New(addrs(64))
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := r.OwnerOf(key)
+		// The owner must be the ring successor of the key hash.
+		k := HashKey(key)
+		want := r.nodes[r.successor(k)].addr
+		if owner != want {
+			t.Fatalf("owner %q != successor %q", owner, want)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r := New(addrs(512))
+	for i := 0; i < 300; i++ {
+		r.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	mean := r.MeanLookupHops()
+	// log2(512) = 9; allow generous slack but verify it's not linear.
+	if mean > 2.5*math.Log2(512) {
+		t.Fatalf("mean lookup hops %v, expected O(log n)", mean)
+	}
+	if mean == 0 {
+		t.Fatal("no hops recorded — fingers are degenerate")
+	}
+}
+
+func TestJoinMigratesKeys(t *testing.T) {
+	r := New(addrs(16))
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		r.Put(keys[i], []byte(keys[i]))
+	}
+	r.Join("late-joiner-1")
+	r.Join("late-joiner-2")
+	// Every key still resolves to its value, and ownership matches the
+	// post-join successor rule.
+	for _, k := range keys {
+		got := r.Get(k)
+		if len(got) != 1 || string(got[0]) != k {
+			t.Fatalf("key %q lost after join: %q", k, got)
+		}
+		if r.OwnerOf(k) != r.nodes[r.successor(HashKey(k))].addr {
+			t.Fatalf("key %q owned by wrong node after join", k)
+		}
+	}
+}
+
+func TestLeaveHandsOffKeys(t *testing.T) {
+	as := addrs(16)
+	r := New(as)
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		r.Put(keys[i], []byte(keys[i]))
+	}
+	for i := 0; i < 8; i++ {
+		r.Leave(as[i])
+	}
+	for _, k := range keys {
+		got := r.Get(k)
+		if len(got) != 1 || string(got[0]) != k {
+			t.Fatalf("key %q lost after leaves: %q", k, got)
+		}
+	}
+}
+
+func TestChurnProperty(t *testing.T) {
+	// Property: after any interleaving of joins and leaves, all stored
+	// keys remain retrievable.
+	err := quick.Check(func(ops []bool, seed uint32) bool {
+		base := addrs(8)
+		r := New(base)
+		for i := 0; i < 40; i++ {
+			r.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		}
+		joined := 0
+		present := append([]string(nil), base...)
+		for i, join := range ops {
+			if len(ops) > 12 && i >= 12 {
+				break
+			}
+			if join {
+				addr := fmt.Sprintf("churn-%d-%d", seed, joined)
+				r.Join(addr)
+				present = append(present, addr)
+				joined++
+			} else if len(present) > 1 {
+				idx := int(seed+uint32(i)) % len(present)
+				r.Leave(present[idx])
+				present = append(present[:idx], present[idx+1:]...)
+			}
+		}
+		for i := 0; i < 40; i++ {
+			v := r.Get(fmt.Sprintf("k%d", i))
+			if len(v) != 1 || v[0][0] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New([]string{"a", "a"})
+}
+
+func TestLeaveUnknownPanics(t *testing.T) {
+	r := New(addrs(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Leave("nope")
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashKey("abc") != HashKey("abc") {
+		t.Fatal("hash not deterministic")
+	}
+	if HashKey("abc") == HashKey("abd") {
+		t.Fatal("implausible hash collision")
+	}
+}

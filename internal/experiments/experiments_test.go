@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/meridian"
+)
+
+// testEnv is a process-shared Quick environment for experiment tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return SharedEnv(Quick, 1)
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1(testEnv(t))
+	if len(r.Rows) != 7 {
+		t.Fatalf("got %d vantage rows", len(r.Rows))
+	}
+	out := r.Render()
+	if !strings.Contains(out, "planetlab5.cs.cornell.edu") {
+		t.Fatal("Cornell vantage missing")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := Fig3(testEnv(t))
+	if r.Pairs < 500 {
+		t.Fatalf("only %d pairs measured", r.Pairs)
+	}
+	// A majority — but not all — of predictions land within a factor 2,
+	// as in the paper.
+	if r.FractionIn05_2 < 0.5 || r.FractionIn05_2 > 0.98 {
+		t.Fatalf("fraction in [0.5,2] = %v", r.FractionIn05_2)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig4Trend(t *testing.T) {
+	r := Fig4(testEnv(t))
+	if len(r.Bins) < 4 {
+		t.Fatalf("only %d bins", len(r.Bins))
+	}
+	// The paper's trend: the prediction measure rises with predicted
+	// latency. Compare the low and high thirds by median.
+	lo := r.Bins[len(r.Bins)/6].Median
+	hi := r.Bins[len(r.Bins)-1].Median
+	if hi <= lo {
+		t.Fatalf("prediction measure does not rise: low=%v high=%v", lo, hi)
+	}
+}
+
+func TestFig5OrderOfMagnitude(t *testing.T) {
+	r := Fig5(testEnv(t))
+	if r.IntraMax10.N() < 20 || r.InterKing.N() < 500 {
+		t.Fatalf("samples %d/%d", r.IntraMax10.N(), r.InterKing.N())
+	}
+	intra := r.IntraMax10.Quantile(0.5)
+	inter := r.InterKing.Quantile(0.5)
+	if intra*4 > inter {
+		t.Fatalf("intra-domain median %v not well below inter %v", intra, inter)
+	}
+}
+
+func TestFig6Funnel(t *testing.T) {
+	r := Fig6(testEnv(t))
+	if !(r.Candidates > r.Responsive && r.Responsive > r.UniqueUpstream) {
+		t.Fatalf("funnel broken: %d/%d/%d", r.Candidates, r.Responsive, r.UniqueUpstream)
+	}
+	frac := float64(r.Responsive) / float64(r.Candidates)
+	if frac < 0.08 || frac > 0.25 {
+		t.Fatalf("responsiveness %v, want ~0.15", frac)
+	}
+	if r.FracPruned25 <= 0 || r.FracPruned25 > 0.6 {
+		t.Fatalf("fraction in big pruned clusters = %v", r.FracPruned25)
+	}
+	// Pruning can only shrink clusters.
+	if len(r.SizesPruned) > 0 && len(r.SizesUnpruned) > 0 &&
+		r.SizesPruned[0] > r.SizesUnpruned[0] {
+		t.Fatal("pruned clusters larger than unpruned")
+	}
+}
+
+func TestFig7LatencyRange(t *testing.T) {
+	r := Fig7(testEnv(t))
+	if len(r.CDFs) == 0 {
+		t.Fatal("no clusters")
+	}
+	// Hub-to-peer latencies of the biggest cluster are broadband-scale
+	// (several to ~100 ms), indicating distinct end-networks.
+	med := r.CDFs[0].Quantile(0.5)
+	if med < 3 || med > 120 {
+		t.Fatalf("largest cluster median hub latency %v ms", med)
+	}
+}
+
+func TestFig10HopGrowth(t *testing.T) {
+	r := Fig10(testEnv(t))
+	if r.Pairs < 200 {
+		t.Fatalf("only %d pairs", r.Pairs)
+	}
+	if len(r.Bins) < 4 {
+		t.Fatalf("only %d bins", len(r.Bins))
+	}
+	first, last := r.Bins[0], r.Bins[len(r.Bins)-1]
+	if last.Median <= first.Median {
+		t.Fatalf("hop count does not grow with latency: %v -> %v", first.Median, last.Median)
+	}
+}
+
+func TestFig11Monotonicity(t *testing.T) {
+	r := Fig11(testEnv(t))
+	if len(r.Points) < 5 {
+		t.Fatalf("only %d points", len(r.Points))
+	}
+	// FP falls (weakly) and FN rises (weakly) with prefix length.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].FP > r.Points[i-1].FP+0.05 {
+			t.Fatalf("FP rose at %d bits: %v -> %v", r.Points[i].Bits, r.Points[i-1].FP, r.Points[i].FP)
+		}
+		if r.Points[i].FN < r.Points[i-1].FN-0.05 {
+			t.Fatalf("FN fell at %d bits: %v -> %v", r.Points[i].Bits, r.Points[i-1].FN, r.Points[i].FN)
+		}
+	}
+	if r.Points[0].FP < 0.5 {
+		t.Fatalf("short-prefix FP %v, expected high", r.Points[0].FP)
+	}
+	if r.Points[len(r.Points)-1].FP > 0.1 {
+		t.Fatalf("long-prefix FP %v, expected low", r.Points[len(r.Points)-1].FP)
+	}
+}
+
+func TestMeridianSimulationScoring(t *testing.T) {
+	// One small simulation exercises the Figure 8/9 machinery end to end.
+	cfg := latency.DefaultClusteredConfig()
+	cfg.TotalPeers = 600
+	cfg.ENsPerCluster = 25
+	run := simulateMeridian(cfg, meridian.DefaultConfig(), 40, 200, 7)
+	if run.pExact < 0 || run.pExact > 1 || run.pCluster < run.pExact {
+		t.Fatalf("scores implausible: %+v", run)
+	}
+	if run.meanProbes <= 0 {
+		t.Fatal("no probes accounted")
+	}
+}
+
+func TestScaleParams(t *testing.T) {
+	p, tg, q, r := scaleParams(Full)
+	if p != 2500 || tg != 100 || q != 5000 || r != 3 {
+		t.Fatalf("full params %d/%d/%d/%d", p, tg, q, r)
+	}
+	if Full.String() != "full" || Quick.String() != "quick" {
+		t.Fatal("scale strings")
+	}
+}
+
+func TestSharedEnvCached(t *testing.T) {
+	a := SharedEnv(Quick, 1)
+	b := SharedEnv(Quick, 1)
+	if a != b {
+		t.Fatal("shared env not cached")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{3, 1, 2})
+	if s.min != 1 || s.med != 2 || s.max != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+}

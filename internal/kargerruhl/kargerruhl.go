@@ -1,0 +1,212 @@
+// Package kargerruhl implements the Karger–Ruhl nearest-neighbour scheme
+// for growth-restricted metrics (STOC 2002) in its distance-based-sampling
+// form: every node maintains, for each distance scale 2^i, a bounded random
+// sample of the nodes within that ball of itself. A query walks from a
+// random node: the handling node measures its distance d to the target,
+// probes its ball sample at scale ~d, and moves to any sampled node closer
+// to the target, halving (in expectation) the distance per step — provided
+// the growth-restriction assumption holds. Under the paper's clustering
+// condition it does not, and the walk degenerates into random probing of
+// the cluster.
+package kargerruhl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/rng"
+)
+
+// Config parameterises the sampling scheme.
+type Config struct {
+	// BaseMs is the radius of the smallest ball (scale 0).
+	BaseMs float64
+	// Scales is the number of distance scales (ball i has radius
+	// BaseMs·2^i; the last ball covers everything).
+	Scales int
+	// SampleSize bounds each ball's sample.
+	SampleSize int
+	// CandidatesPerNode is the gossip view used to fill ball samples.
+	CandidatesPerNode int
+	// MaxHops caps a query walk.
+	MaxHops int
+}
+
+// DefaultConfig mirrors the Meridian-comparable configuration.
+func DefaultConfig() Config {
+	return Config{
+		BaseMs:            1,
+		Scales:            9,
+		SampleSize:        16,
+		CandidatesPerNode: 192,
+		MaxHops:           64,
+	}
+}
+
+type node struct {
+	id int
+	// balls[i] holds sampled node ids within radius BaseMs·2^i.
+	balls [][]int
+	// seen[i] counts candidates eligible for ball i (reservoir sampling).
+	seen []int
+	// lat caches measured latencies to sampled nodes.
+	lat map[int]float64
+}
+
+// Overlay is a Karger–Ruhl sampling overlay.
+type Overlay struct {
+	cfg     Config
+	net     *overlay.Network
+	members []int
+	nodes   map[int]*node
+	src     *rng.Source
+}
+
+// New builds the overlay: every member samples candidates, measures them
+// (maintenance probes), and files them into every ball large enough to
+// contain them, trimming each ball to a random SampleSize subset.
+func New(net *overlay.Network, members []int, cfg Config, seed int64) *Overlay {
+	if cfg.Scales <= 0 || cfg.SampleSize <= 0 || cfg.BaseMs <= 0 {
+		panic(fmt.Sprintf("kargerruhl: invalid config %+v", cfg))
+	}
+	o := &Overlay{
+		cfg:     cfg,
+		net:     net,
+		members: append([]int(nil), members...),
+		nodes:   make(map[int]*node, len(members)),
+		src:     rng.New(seed),
+	}
+	for _, id := range members {
+		o.nodes[id] = &node{
+			id:    id,
+			balls: make([][]int, cfg.Scales),
+			seen:  make([]int, cfg.Scales),
+			lat:   make(map[int]float64),
+		}
+	}
+	for _, id := range members {
+		o.fill(o.nodes[id])
+	}
+	return o
+}
+
+func (o *Overlay) fill(n *node) {
+	cands := o.sample(n.id)
+	for _, c := range cands {
+		l := o.net.MaintProbe(n.id, c)
+		n.lat[c] = l
+		// Insert into every ball that contains it, reservoir-sampling
+		// (Algorithm R) so each ball is a uniform sample of eligible
+		// candidates despite the size bound.
+		for i := 0; i < o.cfg.Scales; i++ {
+			radius := o.cfg.BaseMs * math.Pow(2, float64(i))
+			if l > radius && i != o.cfg.Scales-1 {
+				continue // outermost ball covers everything
+			}
+			n.seen[i]++
+			if len(n.balls[i]) < o.cfg.SampleSize {
+				n.balls[i] = append(n.balls[i], c)
+			} else if j := o.src.Intn(n.seen[i]); j < o.cfg.SampleSize {
+				n.balls[i][j] = c
+			}
+		}
+	}
+}
+
+func (o *Overlay) sample(self int) []int {
+	if len(o.members)-1 <= o.cfg.CandidatesPerNode {
+		out := make([]int, 0, len(o.members)-1)
+		for _, m := range o.members {
+			if m != self {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	seen := map[int]bool{self: true}
+	out := make([]int, 0, o.cfg.CandidatesPerNode)
+	for len(out) < o.cfg.CandidatesPerNode {
+		c := o.members[o.src.Intn(len(o.members))]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// scaleFor returns the ball index whose radius just covers distance d.
+func (o *Overlay) scaleFor(d float64) int {
+	if d <= o.cfg.BaseMs {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(d / o.cfg.BaseMs)))
+	if i >= o.cfg.Scales {
+		i = o.cfg.Scales - 1
+	}
+	return i
+}
+
+// FindNearest implements overlay.Finder.
+func (o *Overlay) FindNearest(target int) overlay.Result {
+	cur := o.members[o.src.Intn(len(o.members))]
+	visited := map[int]bool{cur: true}
+	var probes int64
+	hops := 0
+
+	d := o.net.Probe(cur, target)
+	probes++
+	bestID, bestLat := cur, d
+
+	for hops < o.cfg.MaxHops {
+		n := o.nodes[cur]
+		// Probe the ball sample at the target's scale, plus the next
+		// scale up (the Karger-Ruhl walk looks within distance ~2d).
+		scale := o.scaleFor(d)
+		cands := make([]int, 0, 2*o.cfg.SampleSize)
+		for s := scale; s <= scale+1 && s < o.cfg.Scales; s++ {
+			for _, c := range n.balls[s] {
+				if !visited[c] {
+					cands = append(cands, c)
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Ints(cands)
+		minID, minLat := -1, math.Inf(1)
+		for _, c := range cands {
+			l := o.net.Probe(c, target)
+			probes++
+			visited[c] = true
+			if l < minLat {
+				minID, minLat = c, l
+			}
+			if l < bestLat {
+				bestID, bestLat = c, l
+			}
+		}
+		if minID < 0 || minLat >= d {
+			break // no progress: in a growth-restricted space this means done
+		}
+		cur, d = minID, minLat
+		hops++
+	}
+	return overlay.Result{Peer: bestID, LatencyMs: bestLat, Probes: probes, Hops: hops}
+}
+
+// Members returns the overlay membership.
+func (o *Overlay) Members() []int { return o.members }
+
+// BallsOf exposes a node's ball samples (tests).
+func (o *Overlay) BallsOf(id int) [][]int { return o.nodes[id].balls }
+
+// LatOf exposes a node's cached latency to a sampled peer (tests).
+func (o *Overlay) LatOf(id, peer int) (float64, bool) {
+	l, ok := o.nodes[id].lat[peer]
+	return l, ok
+}

@@ -1,0 +1,64 @@
+package measure
+
+import (
+	"time"
+
+	"nearestpeer/internal/netmodel"
+)
+
+// King estimates the RTT between two recursive DNS servers a and b using
+// the King technique (Gummadi et al., SIGCOMM 2002): the measurement host
+// first measures its own RTT to a, then sends a a recursive query for a
+// name that b is authoritative for; a forwards the query to b, and the
+// difference of the two measurements estimates RTT(a, b).
+//
+// Failure modes reproduced from the paper:
+//   - servers sharing a domain answer the query locally, so the technique
+//     is unusable (ErrSameDomain);
+//   - processing lag at the two name servers inflates the estimate, which
+//     matters at millisecond-scale true latencies;
+//   - the server-to-server packet takes the real Internet path, including
+//     alternate paths that bypass the common upstream router — so at large
+//     distances King undershoots tree-based predictions.
+func (t *Tools) King(from, a, b netmodel.HostID) (time.Duration, error) {
+	ha, hb := t.Top.Host(a), t.Top.Host(b)
+	if ha.DNS == nil || !ha.DNS.Recursive || hb.DNS == nil {
+		return 0, ErrNotDNS
+	}
+	if sharesDomain(ha.DNS, hb.DNS) {
+		return 0, ErrSameDomain
+	}
+	// The estimate is the server-to-server RTT (true path, shortcuts and
+	// all) plus the resolver lag at each server, observed with probe
+	// jitter. The from→a leg cancels in the subtraction, so it does not
+	// appear; `from` is kept in the signature because a real King
+	// deployment issues both probes from the measurement host.
+	_ = from
+	lag := t.src.Exponential(t.cfg.KingLagMeanMs) + t.src.Exponential(t.cfg.KingLagMeanMs)
+	if t.cfg.KingTailProb > 0 && t.src.Float64() < t.cfg.KingTailProb {
+		lag += t.src.Exponential(t.cfg.KingTailMeanMs)
+	}
+	ms := t.noisy(t.Top.RTTms(a, b)) + lag
+	return netmodel.Duration(ms), nil
+}
+
+func sharesDomain(a, b *netmodel.DNSServer) bool {
+	for _, da := range a.Domains {
+		for _, db := range b.Domains {
+			if da == db {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SameDomain reports whether two hosts are DNS servers of one domain — the
+// pairs the paper uses as a stand-in for "same end-network" in Figure 5.
+func (t *Tools) SameDomain(a, b netmodel.HostID) bool {
+	ha, hb := t.Top.Host(a), t.Top.Host(b)
+	if ha.DNS == nil || hb.DNS == nil {
+		return false
+	}
+	return sharesDomain(ha.DNS, hb.DNS)
+}

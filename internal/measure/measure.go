@@ -1,0 +1,173 @@
+// Package measure implements the paper's measurement toolkit against the
+// simulated Internet: ping, traceroute, rockettrace (traceroute with AS and
+// city annotations parsed from router DNS names), TCP-ping (connect-time to
+// the Azureus port), and the King technique for estimating the latency
+// between two recursive DNS servers.
+//
+// Every tool observes the world with the same error sources the paper
+// discusses in Section 3.1: per-probe jitter, processing lag at DNS servers
+// (which inflates small King measurements), anonymous routers, misconfigured
+// router names, and alternate paths that undercut tree-predicted latencies.
+package measure
+
+import (
+	"errors"
+	"time"
+
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/rng"
+)
+
+// Errors returned by the tools.
+var (
+	// ErrNoResponse means the destination did not answer the probe.
+	ErrNoResponse = errors.New("measure: no response")
+	// ErrSameDomain means King was attempted between two name servers of
+	// one domain, where the recursive query is answered locally and never
+	// forwarded (Section 3.1 discards such pairs).
+	ErrSameDomain = errors.New("measure: name servers share a domain")
+	// ErrNotDNS means a King endpoint is not a DNS server.
+	ErrNotDNS = errors.New("measure: host is not a DNS server")
+)
+
+// Config tunes the measurement error model.
+type Config struct {
+	// JitterFrac is the standard deviation of multiplicative probe noise.
+	JitterFrac float64
+	// FloorMs is the additive noise floor of any probe (scheduler and NIC
+	// timestamping granularity).
+	FloorMs float64
+	// KingLagMeanMs is the mean processing lag a recursive DNS server adds
+	// to a King measurement (exponentially distributed, two servers
+	// involved). At millisecond-scale true latencies this lag dominates,
+	// which is exactly the low-latency inflation visible in Figure 4.
+	KingLagMeanMs float64
+	// KingTailProb/KingTailMeanMs model occasional heavy King outliers
+	// (resolver retransmissions, cache misses): with KingTailProb an
+	// extra exponential delay of the given mean is added.
+	KingTailProb   float64
+	KingTailMeanMs float64
+	// TCPSetupMs is the extra time a TCP connect spends beyond one RTT.
+	TCPSetupMs float64
+}
+
+// DefaultConfig returns the error model used by all experiments.
+// Ping jitter is kept small because prediction subtracts pings along
+// largely shared paths, whose queueing delays correlate — the residual
+// independent error is what matters, not the absolute path jitter.
+func DefaultConfig() Config {
+	return Config{
+		JitterFrac:     0.008,
+		FloorMs:        0.06,
+		KingLagMeanMs:  2.2,
+		KingTailProb:   0.22,
+		KingTailMeanMs: 22,
+		TCPSetupMs:     0.2,
+	}
+}
+
+// Tools is a measurement toolkit bound to a topology. Probe noise is drawn
+// from a deterministic stream, so identical experiment seeds replay
+// identical measurement campaigns.
+type Tools struct {
+	Top *netmodel.Topology
+	cfg Config
+	src *rng.Source
+}
+
+// NewTools builds a toolkit with the given noise configuration and seed.
+func NewTools(top *netmodel.Topology, cfg Config, seed int64) *Tools {
+	return &Tools{Top: top, cfg: cfg, src: rng.New(seed)}
+}
+
+// noisy applies the probe error model to a true RTT in milliseconds.
+func (t *Tools) noisy(ms float64) float64 {
+	ms *= 1 + t.cfg.JitterFrac*t.src.NormFloat64()
+	ms += t.src.Float64() * t.cfg.FloorMs
+	if ms < 0.01 {
+		ms = 0.01
+	}
+	return ms
+}
+
+// Ping measures the RTT from host `from` to host `to` with ICMP. It fails
+// if the destination filters ICMP. Measurement paths are tree paths: the
+// probe traverses the routed path via the common upstream router.
+func (t *Tools) Ping(from, to netmodel.HostID) (time.Duration, error) {
+	if !t.Top.Host(to).RespondsPing {
+		return 0, ErrNoResponse
+	}
+	return netmodel.Duration(t.noisy(t.Top.TreeRTTms(from, to))), nil
+}
+
+// PingRouter measures the RTT from a host to a router. Anonymous routers
+// drop probes.
+func (t *Tools) PingRouter(from netmodel.HostID, r netmodel.RouterID) (time.Duration, error) {
+	if t.Top.Router(r).Anonymous {
+		return 0, ErrNoResponse
+	}
+	return netmodel.Duration(t.noisy(t.Top.RouterRTTms(from, r))), nil
+}
+
+// TCPPing measures the time to complete a TCP connect to the Azureus port
+// (6881) at the destination — the tool the paper falls back to because most
+// peers answer neither ping nor traceroute (Section 3.2).
+func (t *Tools) TCPPing(from, to netmodel.HostID) (time.Duration, error) {
+	if !t.Top.Host(to).RespondsTCP {
+		return 0, ErrNoResponse
+	}
+	ms := t.noisy(t.Top.TreeRTTms(from, to)) + t.src.Float64()*t.cfg.TCPSetupMs
+	return netmodel.Duration(ms), nil
+}
+
+// LatencyTo measures the RTT to a peer by whichever tool answers: TCP-ping
+// first (Azureus peers listen on 6881), then ping. This is the paper's
+// "responded with a valid latency to either a TCP ping or a traceroute".
+func (t *Tools) LatencyTo(from, to netmodel.HostID) (time.Duration, error) {
+	if d, err := t.TCPPing(from, to); err == nil {
+		return d, nil
+	}
+	if d, err := t.Ping(from, to); err == nil {
+		return d, nil
+	}
+	return 0, ErrNoResponse
+}
+
+// TraceHop is one hop of a traceroute.
+type TraceHop struct {
+	// Router is the responding router, or netmodel.NoRouter for a '*' hop.
+	Router netmodel.RouterID
+	// RTT is the measured round-trip to this hop (zero for '*').
+	RTT time.Duration
+}
+
+// Traceroute runs a route trace from `from` to `to`. The final entry is the
+// destination host itself when it answers (Router == NoRouter but RTT set).
+func (t *Tools) Traceroute(from, to netmodel.HostID) []TraceHop {
+	path := t.Top.Path(from, to)
+	hops := make([]TraceHop, 0, len(path)+1)
+	for _, h := range path {
+		if !h.Valid {
+			hops = append(hops, TraceHop{Router: netmodel.NoRouter})
+			continue
+		}
+		hops = append(hops, TraceHop{
+			Router: h.Router,
+			RTT:    netmodel.Duration(t.noisy(h.RTTms)),
+		})
+	}
+	if t.Top.Host(to).RespondsPing {
+		hops = append(hops, TraceHop{
+			Router: netmodel.NoRouter,
+			RTT:    netmodel.Duration(t.noisy(t.Top.TreeRTTms(from, to))),
+		})
+	}
+	return hops
+}
+
+// UpstreamRouter returns the closest upstream router of `to` as seen from
+// `from`: the last hop of the traceroute that answered (skipping the final
+// destination entry). Returns NoRouter when the trace yields none.
+func (t *Tools) UpstreamRouter(from, to netmodel.HostID) netmodel.RouterID {
+	return t.Top.LastValidRouter(from, to)
+}

@@ -1,0 +1,328 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"nearestpeer/internal/netmodel"
+)
+
+func newFixture(t *testing.T) (*netmodel.Topology, *Tools) {
+	t.Helper()
+	top := netmodel.Generate(netmodel.DefaultConfig(), 1)
+	return top, NewTools(top, DefaultConfig(), 99)
+}
+
+func findHost(top *netmodel.Topology, pred func(*netmodel.Host) bool) netmodel.HostID {
+	for i := range top.Hosts {
+		if pred(&top.Hosts[i]) {
+			return netmodel.HostID(i)
+		}
+	}
+	return -1
+}
+
+func TestPingRespectsResponsiveness(t *testing.T) {
+	top, tools := newFixture(t)
+	up := findHost(top, func(h *netmodel.Host) bool { return h.RespondsPing })
+	down := findHost(top, func(h *netmodel.Host) bool { return !h.RespondsPing })
+	if up < 0 || down < 0 {
+		t.Fatal("fixture lacks hosts")
+	}
+	src := netmodel.HostID(0)
+	if _, err := tools.Ping(src, up); err != nil {
+		t.Fatalf("ping to responsive host failed: %v", err)
+	}
+	if _, err := tools.Ping(src, down); err == nil {
+		t.Fatal("ping to unresponsive host succeeded")
+	}
+}
+
+func TestPingAccuracy(t *testing.T) {
+	top, tools := newFixture(t)
+	a := findHost(top, func(h *netmodel.Host) bool { return h.RespondsPing })
+	b := findHost(top, func(h *netmodel.Host) bool {
+		return h.RespondsPing && top.Hosts[a].EN != h.EN
+	})
+	truth := top.TreeRTTms(a, b)
+	var sum float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		d, err := tools.Ping(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += netmodel.Ms(d)
+	}
+	mean := sum / n
+	// Noise is ~2% multiplicative + tiny floor; the mean should track the
+	// true tree RTT closely.
+	if math.Abs(mean-truth) > truth*0.05+0.2 {
+		t.Fatalf("ping mean %v vs truth %v", mean, truth)
+	}
+}
+
+func TestTCPPing(t *testing.T) {
+	top, tools := newFixture(t)
+	peer := findHost(top, func(h *netmodel.Host) bool { return h.RespondsTCP })
+	noTCP := findHost(top, func(h *netmodel.Host) bool { return !h.RespondsTCP })
+	if _, err := tools.TCPPing(0, peer); err != nil {
+		t.Fatalf("TCP ping failed: %v", err)
+	}
+	if _, err := tools.TCPPing(0, noTCP); err == nil {
+		t.Fatal("TCP ping to closed port succeeded")
+	}
+	// TCP connect includes setup overhead: it should not undershoot the
+	// tree RTT by much.
+	d, _ := tools.TCPPing(0, peer)
+	if netmodel.Ms(d) < top.TreeRTTms(0, peer)*0.9 {
+		t.Fatalf("TCP ping %v below RTT %v", netmodel.Ms(d), top.TreeRTTms(0, peer))
+	}
+}
+
+func TestLatencyToFallsBack(t *testing.T) {
+	top, tools := newFixture(t)
+	pingOnly := findHost(top, func(h *netmodel.Host) bool { return h.RespondsPing && !h.RespondsTCP })
+	neither := findHost(top, func(h *netmodel.Host) bool { return !h.RespondsPing && !h.RespondsTCP })
+	if pingOnly >= 0 {
+		if _, err := tools.LatencyTo(0, pingOnly); err != nil {
+			t.Fatalf("LatencyTo did not fall back to ping: %v", err)
+		}
+	}
+	if neither >= 0 {
+		if _, err := tools.LatencyTo(0, neither); err == nil {
+			t.Fatal("LatencyTo succeeded on a dark host")
+		}
+	}
+}
+
+func TestTracerouteMatchesPath(t *testing.T) {
+	top, tools := newFixture(t)
+	from := netmodel.HostID(0)
+	to := findHost(top, func(h *netmodel.Host) bool {
+		return h.EN != top.Hosts[0].EN && !h.Multihomed
+	})
+	hops := tools.Traceroute(from, to)
+	path := top.Path(from, to)
+	want := len(path)
+	if top.Host(to).RespondsPing {
+		want++
+	}
+	if len(hops) != want {
+		t.Fatalf("traceroute has %d hops, want %d", len(hops), want)
+	}
+	// RTTs along the trace are non-decreasing within noise.
+	prev := 0.0
+	for _, h := range hops {
+		if h.Router == netmodel.NoRouter && h.RTT == 0 {
+			continue // '*' hop
+		}
+		ms := netmodel.Ms(h.RTT)
+		if ms < prev-1.0 {
+			t.Fatalf("hop RTTs regressed: %v after %v", ms, prev)
+		}
+		prev = ms
+	}
+}
+
+func TestUpstreamRouterIsENEdge(t *testing.T) {
+	top, tools := newFixture(t)
+	to := findHost(top, func(h *netmodel.Host) bool {
+		en := top.EN(h.EN)
+		return !h.Multihomed && len(en.Chain) > 0 && !top.Router(en.EdgeRouter()).Anonymous && h.EN != top.Hosts[0].EN
+	})
+	if to < 0 {
+		t.Skip("no suitable destination")
+	}
+	got := tools.UpstreamRouter(0, to)
+	if want := top.HostEN(to).EdgeRouter(); got != want {
+		t.Fatalf("upstream router = %d, want %d", got, want)
+	}
+}
+
+func TestRockettraceAnnotations(t *testing.T) {
+	top, tools := newFixture(t)
+	to := findHost(top, func(h *netmodel.Host) bool { return h.EN != top.Hosts[0].EN })
+	hops := tools.Rockettrace(0, to)
+	if len(hops) == 0 {
+		t.Fatal("empty rockettrace")
+	}
+	sawAnnotated := false
+	for _, h := range hops {
+		if !h.Valid {
+			continue
+		}
+		r := top.Router(h.Router)
+		if r.Customer && h.Annotated {
+			t.Fatal("customer router carries an annotation")
+		}
+		if !r.Customer {
+			if !h.Annotated {
+				t.Fatal("ISP router lacks annotation")
+			}
+			if h.AS != r.AS {
+				t.Fatal("annotation AS mismatch")
+			}
+			if h.City != r.NameCity {
+				t.Fatal("annotation should reflect the DNS name's city claim")
+			}
+			sawAnnotated = true
+		}
+	}
+	if !sawAnnotated {
+		t.Fatal("no annotated hops on path")
+	}
+}
+
+func TestClosestUpstreamPoP(t *testing.T) {
+	top, tools := newFixture(t)
+	servers := top.DNSServers()
+	if len(servers) == 0 {
+		t.Fatal("no DNS servers")
+	}
+	found := 0
+	for _, s := range servers[:min(len(servers), 50)] {
+		key, _, beyond, ok := tools.ClosestUpstreamPoP(0, s)
+		if !ok {
+			continue
+		}
+		found++
+		if beyond < 0 || beyond > 12 {
+			t.Fatalf("hopsBeyond = %d", beyond)
+		}
+		// The inferred PoP AS must be the true PoP's AS (city may differ
+		// due to name misconfiguration, AS never does in our model).
+		if want := top.PoP(top.HostEN(s).PoP).AS; key.AS != want {
+			t.Fatalf("PoP AS = %d, want %d", key.AS, want)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no PoP mapping succeeded")
+	}
+}
+
+func TestDeepestCommonRouter(t *testing.T) {
+	top, tools := newFixture(t)
+	// Two DNS servers in one PoP share at least the PoP core on traces
+	// from a remote vantage.
+	servers := top.DNSServers()
+	var a, b netmodel.HostID = -1, -1
+	for i := 0; i < len(servers) && a < 0; i++ {
+		for j := i + 1; j < len(servers); j++ {
+			if top.HostEN(servers[i]).PoP == top.HostEN(servers[j]).PoP &&
+				top.Hosts[servers[i]].EN != top.Hosts[servers[j]].EN &&
+				top.HostEN(servers[i]).PoP != top.HostEN(0).PoP {
+				a, b = servers[i], servers[j]
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no same-PoP DNS pair")
+	}
+	ta := tools.Rockettrace(0, a)
+	tb := tools.Rockettrace(0, b)
+	r, _, _, _, ok := DeepestCommonRouter(ta, tb)
+	if !ok {
+		t.Fatal("no common router for same-PoP pair")
+	}
+	if top.Router(r).PoP != top.HostEN(a).PoP && top.Router(r).PoP != top.HostEN(0).PoP {
+		// The deepest common router should be in the shared part of the
+		// route — either the destination PoP or earlier.
+		t.Logf("common router in PoP %d (src %d, dst %d)", top.Router(r).PoP, top.HostEN(0).PoP, top.HostEN(a).PoP)
+	}
+}
+
+func TestKing(t *testing.T) {
+	top, tools := newFixture(t)
+	servers := top.DNSServers()
+	var a, b netmodel.HostID = -1, -1
+	for i := 0; i < len(servers) && a < 0; i++ {
+		for j := i + 1; j < len(servers); j++ {
+			if !tools.SameDomain(servers[i], servers[j]) {
+				a, b = servers[i], servers[j]
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Fatal("no cross-domain DNS pair")
+	}
+	d, err := tools.King(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := top.RTTms(a, b)
+	got := netmodel.Ms(d)
+	// King includes lag: the estimate must be >= truth*(1-noise) and not
+	// wildly above.
+	if got < truth*0.9 {
+		t.Fatalf("King %v below truth %v", got, truth)
+	}
+	if got > truth*1.5+10 {
+		t.Fatalf("King %v far above truth %v", got, truth)
+	}
+}
+
+func TestKingSameDomainFails(t *testing.T) {
+	top, tools := newFixture(t)
+	servers := top.DNSServers()
+	var a, b netmodel.HostID = -1, -1
+	for i := 0; i < len(servers) && a < 0; i++ {
+		for j := i + 1; j < len(servers); j++ {
+			if tools.SameDomain(servers[i], servers[j]) {
+				a, b = servers[i], servers[j]
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no same-domain DNS pair in fixture")
+	}
+	if _, err := tools.King(0, a, b); err != ErrSameDomain {
+		t.Fatalf("King on same-domain pair: err = %v", err)
+	}
+}
+
+func TestKingRejectsNonDNS(t *testing.T) {
+	top, tools := newFixture(t)
+	plain := findHost(top, func(h *netmodel.Host) bool { return h.DNS == nil })
+	servers := top.DNSServers()
+	if _, err := tools.King(0, plain, servers[0]); err != ErrNotDNS {
+		t.Fatalf("err = %v, want ErrNotDNS", err)
+	}
+}
+
+func TestSelectVantages(t *testing.T) {
+	top, _ := newFixture(t)
+	vs, err := SelectVantages(top, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 7 {
+		t.Fatalf("got %d vantages", len(vs))
+	}
+	cities := make(map[string]bool)
+	for _, v := range vs {
+		if cities[v.City] {
+			t.Fatalf("duplicate vantage city %s", v.City)
+		}
+		cities[v.City] = true
+		if v.Name == "" || v.Location == "" {
+			t.Fatal("vantage missing names")
+		}
+	}
+	if vs[0].Name != "planetlab02.cs.washington.edu" {
+		t.Fatalf("first vantage name %q", vs[0].Name)
+	}
+	if _, err := SelectVantages(top, 0); err == nil {
+		t.Fatal("accepted zero vantages")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

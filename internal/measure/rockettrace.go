@@ -1,0 +1,107 @@
+package measure
+
+import (
+	"time"
+
+	"nearestpeer/internal/netmodel"
+)
+
+// AnnotatedHop is one rockettrace hop: the traceroute data plus the (AS,
+// city) annotation parsed from the router's DNS name. The annotation is what
+// the router's *name* claims — for misconfigured routers it disagrees with
+// the router's true location, an error source the paper acknowledges.
+type AnnotatedHop struct {
+	Router netmodel.RouterID
+	RTT    time.Duration
+	Name   string
+	AS     netmodel.ASID
+	City   netmodel.CityID
+	// Valid means the router answered (not a '*' hop).
+	Valid bool
+	// Annotated means the DNS name yielded an (AS, city) pair. Customer
+	// routers respond but are not annotated.
+	Annotated bool
+}
+
+// PoPKey identifies a PoP the way rockettrace can: by the (AS, city) pair
+// its router names advertise. "We assume that routers annotated with the
+// same AS and city reside in the same ISP PoP."
+type PoPKey struct {
+	AS   netmodel.ASID
+	City netmodel.CityID
+}
+
+// Rockettrace runs an annotated route trace.
+func (t *Tools) Rockettrace(from, to netmodel.HostID) []AnnotatedHop {
+	path := t.Top.Path(from, to)
+	hops := make([]AnnotatedHop, 0, len(path))
+	for _, h := range path {
+		if !h.Valid {
+			hops = append(hops, AnnotatedHop{Router: netmodel.NoRouter})
+			continue
+		}
+		r := t.Top.Router(h.Router)
+		ah := AnnotatedHop{
+			Router: h.Router,
+			RTT:    netmodel.Duration(t.noisy(h.RTTms)),
+			Name:   r.Name,
+			Valid:  true,
+		}
+		if !r.Customer {
+			ah.Annotated = true
+			ah.AS = r.AS
+			ah.City = r.NameCity // what the name claims, not the truth
+		}
+		hops = append(hops, ah)
+	}
+	return hops
+}
+
+// ClosestUpstreamPoP maps a destination to its closest upstream PoP on the
+// rockettrace from `from`: the (AS, city) key of the last annotated hop
+// group, together with the index of the hop where that PoP starts and the
+// number of hops between the PoP and the destination. The paper uses this
+// to cluster DNS servers per PoP (Section 3.1).
+func (t *Tools) ClosestUpstreamPoP(from, to netmodel.HostID) (key PoPKey, popHop int, hopsBeyond int, ok bool) {
+	hops := t.Rockettrace(from, to)
+	// The closest upstream PoP is the (AS, city) of the last annotated
+	// hop; the hops beyond it (customer routers, '*' hops) measure how far
+	// downstream the server sits from the PoP.
+	last := -1
+	for i, h := range hops {
+		if h.Annotated {
+			last = i
+		}
+	}
+	if last < 0 {
+		return PoPKey{}, 0, 0, false
+	}
+	key = PoPKey{AS: hops[last].AS, City: hops[last].City}
+	return key, last, len(hops) - last, true
+}
+
+// DeepestCommonRouter compares the rockettrace paths from one measurement
+// host to two destinations and returns the deepest router present on both —
+// tree paths from one source share a prefix, so this is the last index at
+// which the two hop lists agree on a responding router. The boolean
+// belowPoP reports whether that router lies beyond the last annotated hop
+// of either path (a "closer router than the PoP" in the paper's terms:
+// a shared customer-side router).
+func DeepestCommonRouter(a, b []AnnotatedHop) (r netmodel.RouterID, idxA, idxB int, belowPoP, ok bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	last := -1
+	for i := 0; i < n; i++ {
+		if a[i].Valid && b[i].Valid && a[i].Router == b[i].Router {
+			last = i
+		} else if a[i].Router != b[i].Router && a[i].Valid && b[i].Valid {
+			break
+		}
+	}
+	if last < 0 {
+		return netmodel.NoRouter, 0, 0, false, false
+	}
+	return a[last].Router, last, last, !a[last].Annotated, true
+}

@@ -1,0 +1,71 @@
+package measure
+
+import (
+	"fmt"
+
+	"nearestpeer/internal/netmodel"
+)
+
+// Vantage is one measurement vantage point: a host we control, placed in a
+// distinct city. The paper used seven PlanetLab nodes (its Table 1); the
+// simulation places seven observers in seven distinct generated cities and
+// keeps the paper's node names for the Table 1 reproduction.
+type Vantage struct {
+	Host     netmodel.HostID
+	Name     string // PlanetLab-style node name
+	Location string // paper's stated location
+	City     string // generated city standing in for it
+}
+
+// paperVantages lists the paper's Table 1 verbatim.
+var paperVantages = []struct{ name, loc string }{
+	{"planetlab02.cs.washington.edu", "Washington, USA"},
+	{"planetlab3.ucsd.edu", "California, USA"},
+	{"planetlab5.cs.cornell.edu", "New York, USA"},
+	{"planetlab2.acis.ufl.edu", "Florida, USA"},
+	{"neu1.6planetlab.edu.cn", "Shenyang, China"},
+	{"planetlab2.iii.u-tokyo.ac.jp", "Tokyo, Japan"},
+	{"planetlab2.xeno.cl.cam.ac.uk", "Cambridge, England"},
+}
+
+// SelectVantages picks n hosts in n distinct cities to act as measurement
+// vantage points (n ≤ 7 reuses the paper's node names). Vantage hosts are
+// corporate hosts — we "control" them, so their own responsiveness flags
+// are irrelevant; they only source probes.
+func SelectVantages(top *netmodel.Topology, n int) ([]Vantage, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("measure: need at least one vantage, got %d", n)
+	}
+	usedCity := make(map[netmodel.CityID]bool)
+	var out []Vantage
+	for i := range top.ENs {
+		if len(out) == n {
+			break
+		}
+		en := &top.ENs[i]
+		if en.IsHome || len(en.Hosts) == 0 {
+			continue
+		}
+		city := top.PoP(en.PoP).City
+		if usedCity[city] {
+			continue
+		}
+		usedCity[city] = true
+		v := Vantage{
+			Host: en.Hosts[0],
+			City: top.City(city).Name,
+		}
+		if len(out) < len(paperVantages) {
+			v.Name = paperVantages[len(out)].name
+			v.Location = paperVantages[len(out)].loc
+		} else {
+			v.Name = fmt.Sprintf("vantage%02d.synthetic.example", len(out))
+			v.Location = top.City(city).Name
+		}
+		out = append(out, v)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("measure: only %d distinct-city vantages available, need %d", len(out), n)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package meridian
+
+import (
+	"testing"
+
+	"nearestpeer/internal/overlay"
+)
+
+func BenchmarkOverlayBuild(b *testing.B) {
+	m := euclideanMatrix(400, 1)
+	members, _ := overlay.Split(400, 20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(overlay.NewNetwork(m), members, DefaultConfig(), int64(i))
+	}
+}
+
+func BenchmarkFindNearest(b *testing.B) {
+	m := euclideanMatrix(400, 1)
+	members, targets := overlay.Split(400, 20, 2)
+	o := New(overlay.NewNetwork(m), members, DefaultConfig(), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.FindNearest(targets[i%len(targets)])
+	}
+}
+
+func BenchmarkHypervolumeSelection(b *testing.B) {
+	m := euclideanMatrix(80, 1)
+	net := overlay.NewNetwork(m)
+	members := make([]int, 80)
+	for i := range members {
+		members[i] = i
+	}
+	o := &Overlay{cfg: DefaultConfig(), net: net}
+	cands := members[1:65]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = o.hypervolumeSubset(cands, 16)
+	}
+}

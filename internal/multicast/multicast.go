@@ -1,0 +1,164 @@
+// Package multicast implements the paper's first mitigation (Section 5):
+// an expanding IP-multicast search inside an end-network, run on the
+// discrete-event kernel. Peers in the P2P system subscribe to a well-known
+// multicast group within their network; a searching peer multicasts queries
+// with growing scope and collects responses. The failure mode the paper
+// flags — "messages multicast from one host may not reach any other host in
+// large end-networks composed of multiple LANs or VLANs" — is modelled
+// directly: a query only crosses VLAN boundaries when the end-network has
+// multicast routing configured across them.
+package multicast
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+)
+
+// Config tunes the expanding search.
+type Config struct {
+	// Rounds is the number of expansion rounds (scope grows per round).
+	Rounds int
+	// RoundTimeout is how long the searcher waits per round.
+	RoundTimeout time.Duration
+	// CrossVLANProb is the probability that a given end-network has
+	// multicast routing configured across its VLANs.
+	CrossVLANProb float64
+}
+
+// DefaultConfig uses three rounds of 200 ms.
+func DefaultConfig() Config {
+	return Config{Rounds: 3, RoundTimeout: 200 * time.Millisecond, CrossVLANProb: 0.4}
+}
+
+// Registry tracks which hosts participate in the P2P system, per
+// end-network (the multicast group membership).
+type Registry struct {
+	byEN map[netmodel.ENID][]netmodel.HostID
+}
+
+// NewRegistry builds a registry from the participating peers.
+func NewRegistry(top *netmodel.Topology, peers []netmodel.HostID) *Registry {
+	r := &Registry{byEN: make(map[netmodel.ENID][]netmodel.HostID)}
+	for _, p := range peers {
+		en := top.Host(p).EN
+		r.byEN[en] = append(r.byEN[en], p)
+	}
+	return r
+}
+
+// MembersIn returns the participating peers of an end-network.
+func (r *Registry) MembersIn(en netmodel.ENID) []netmodel.HostID { return r.byEN[en] }
+
+// Result reports an expanding search's outcome.
+type Result struct {
+	// Peer is the closest responding same-network peer (-1 if none).
+	Peer netmodel.HostID
+	// RTTms is the measured RTT to Peer.
+	RTTms float64
+	// Messages is the number of multicast data messages delivered.
+	Messages int
+	// Rounds is how many rounds ran before a response arrived.
+	Rounds int
+	// Elapsed is the virtual time the search took.
+	Elapsed time.Duration
+}
+
+// Searcher runs expanding multicast searches.
+type Searcher struct {
+	top *netmodel.Topology
+	reg *Registry
+	cfg Config
+	src *rng.Source
+	// crossVLAN caches the per-EN multicast-routing configuration.
+	crossVLAN map[netmodel.ENID]bool
+}
+
+// NewSearcher creates a searcher.
+func NewSearcher(top *netmodel.Topology, reg *Registry, cfg Config, seed int64) *Searcher {
+	if cfg.Rounds <= 0 || cfg.RoundTimeout <= 0 {
+		panic(fmt.Sprintf("multicast: invalid config %+v", cfg))
+	}
+	return &Searcher{
+		top: top, reg: reg, cfg: cfg,
+		src:       rng.New(seed),
+		crossVLAN: make(map[netmodel.ENID]bool),
+	}
+}
+
+// enCrossesVLANs reports (memoised, deterministic per EN) whether multicast
+// crosses the network's VLAN boundaries.
+func (s *Searcher) enCrossesVLANs(en netmodel.ENID) bool {
+	if v, ok := s.crossVLAN[en]; ok {
+		return v
+	}
+	v := s.src.SplitN("crossvlan", int(en)).Bool(s.cfg.CrossVLANProb)
+	s.crossVLAN[en] = v
+	return v
+}
+
+// Search runs the expanding search from a peer on a fresh simulator:
+// round k multicasts with scope k (round 0 reaches the peer's own VLAN,
+// later rounds reach the whole end-network where multicast routing
+// permits). Respondents unicast back; the searcher takes the earliest
+// (therefore closest) response of the first successful round.
+func (s *Searcher) Search(from netmodel.HostID) Result {
+	kernel := sim.New()
+	res := Result{Peer: -1, RTTms: math.Inf(1)}
+	en := s.top.Host(from).EN
+	members := s.reg.MembersIn(en)
+	fromVLAN := s.top.Host(from).VLAN
+	crosses := s.enCrossesVLANs(en)
+
+	type response struct {
+		peer netmodel.HostID
+		rtt  float64
+		at   time.Duration
+	}
+	var got *response
+	roundOf := func(at time.Duration) int { return int(at / s.cfg.RoundTimeout) }
+
+	for round := 0; round < s.cfg.Rounds; round++ {
+		round := round
+		start := time.Duration(round) * s.cfg.RoundTimeout
+		kernel.At(start, func() {
+			if got != nil && roundOf(got.at) < round {
+				return // earlier round already answered; stop expanding
+			}
+			for _, m := range members {
+				if m == from {
+					continue
+				}
+				h := s.top.Host(m)
+				reachable := h.VLAN == fromVLAN || (round > 0 && crosses)
+				if !reachable {
+					continue
+				}
+				res.Messages++
+				m := m
+				rtt := s.top.RTTms(from, m)
+				kernel.At(start+netmodel.Duration(rtt), func() {
+					if got == nil || got.at > kernel.Now() {
+						got = &response{peer: m, rtt: rtt, at: kernel.Now()}
+					}
+				})
+			}
+		})
+	}
+	kernel.Run()
+
+	if got != nil {
+		res.Peer = got.peer
+		res.RTTms = got.rtt
+		res.Rounds = roundOf(got.at) + 1
+		res.Elapsed = got.at
+	} else {
+		res.Rounds = s.cfg.Rounds
+		res.Elapsed = time.Duration(s.cfg.Rounds) * s.cfg.RoundTimeout
+	}
+	return res
+}

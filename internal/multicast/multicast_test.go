@@ -1,0 +1,180 @@
+package multicast
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/netmodel"
+)
+
+func fixture(t *testing.T) (*netmodel.Topology, []netmodel.HostID) {
+	t.Helper()
+	top := netmodel.Generate(netmodel.DefaultConfig(), 6)
+	var peers []netmodel.HostID
+	for i := range top.Hosts {
+		if top.Hosts[i].DNS == nil {
+			peers = append(peers, netmodel.HostID(i))
+		}
+	}
+	return top, peers
+}
+
+func TestRegistryGroupsByEN(t *testing.T) {
+	top, peers := fixture(t)
+	reg := NewRegistry(top, peers)
+	total := 0
+	for i := range top.ENs {
+		members := reg.MembersIn(netmodel.ENID(i))
+		total += len(members)
+		for _, m := range members {
+			if top.Host(m).EN != netmodel.ENID(i) {
+				t.Fatal("peer registered in wrong EN")
+			}
+		}
+	}
+	if total != len(peers) {
+		t.Fatalf("registry holds %d of %d peers", total, len(peers))
+	}
+}
+
+func TestSearchFindsSameVLANPeer(t *testing.T) {
+	top, peers := fixture(t)
+	reg := NewRegistry(top, peers)
+	s := NewSearcher(top, reg, DefaultConfig(), 3)
+
+	// Find a peer with a same-VLAN same-EN partner.
+	var from netmodel.HostID = -1
+	for _, p := range peers {
+		for _, q := range reg.MembersIn(top.Host(p).EN) {
+			if q != p && top.Host(q).VLAN == top.Host(p).VLAN {
+				from = p
+				break
+			}
+		}
+		if from >= 0 {
+			break
+		}
+	}
+	if from < 0 {
+		t.Skip("no same-VLAN pair")
+	}
+	res := s.Search(from)
+	if res.Peer < 0 {
+		t.Fatal("search found nothing despite same-VLAN partner")
+	}
+	if !top.SameEN(from, res.Peer) {
+		t.Fatal("found peer outside the end-network")
+	}
+	if res.RTTms > 2 {
+		t.Fatalf("same-EN RTT %v ms unexpectedly high", res.RTTms)
+	}
+	if res.Messages == 0 || res.Elapsed <= 0 {
+		t.Fatal("cost accounting missing")
+	}
+}
+
+func TestVLANBoundaryFailure(t *testing.T) {
+	top, peers := fixture(t)
+	reg := NewRegistry(top, peers)
+	cfg := DefaultConfig()
+	cfg.CrossVLANProb = 0 // no end-network routes multicast across VLANs
+	s := NewSearcher(top, reg, cfg, 3)
+
+	// A peer whose only same-EN partners are on other VLANs must fail.
+	var from netmodel.HostID = -1
+	for _, p := range peers {
+		sameVLAN, otherVLAN := 0, 0
+		for _, q := range reg.MembersIn(top.Host(p).EN) {
+			if q == p {
+				continue
+			}
+			if top.Host(q).VLAN == top.Host(p).VLAN {
+				sameVLAN++
+			} else {
+				otherVLAN++
+			}
+		}
+		if sameVLAN == 0 && otherVLAN > 0 {
+			from = p
+			break
+		}
+	}
+	if from < 0 {
+		t.Skip("no cross-VLAN-only peer")
+	}
+	res := s.Search(from)
+	if res.Peer >= 0 {
+		t.Fatalf("search crossed a VLAN boundary with CrossVLANProb=0 (found %d)", res.Peer)
+	}
+}
+
+func TestCrossVLANSucceedsWhenRouted(t *testing.T) {
+	top, peers := fixture(t)
+	reg := NewRegistry(top, peers)
+	cfg := DefaultConfig()
+	cfg.CrossVLANProb = 1 // every end-network routes multicast everywhere
+	s := NewSearcher(top, reg, cfg, 3)
+
+	// A peer whose same-EN partners are all on other VLANs: the hit can
+	// only come from an expanded round.
+	var from netmodel.HostID = -1
+	for _, p := range peers {
+		sameVLAN, otherVLAN := 0, 0
+		for _, q := range reg.MembersIn(top.Host(p).EN) {
+			if q == p {
+				continue
+			}
+			if top.Host(q).VLAN == top.Host(p).VLAN {
+				sameVLAN++
+			} else {
+				otherVLAN++
+			}
+		}
+		if sameVLAN == 0 && otherVLAN > 0 {
+			from = p
+			break
+		}
+	}
+	if from < 0 {
+		t.Skip("no cross-VLAN-only peer")
+	}
+	res := s.Search(from)
+	if res.Peer < 0 {
+		t.Fatal("search failed despite universal multicast routing")
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("cross-VLAN hit in round %d; scope 0 must not cross VLANs", res.Rounds)
+	}
+}
+
+func TestLonePeerFindsNothing(t *testing.T) {
+	top, peers := fixture(t)
+	reg := NewRegistry(top, peers)
+	s := NewSearcher(top, reg, DefaultConfig(), 3)
+	var from netmodel.HostID = -1
+	for _, p := range peers {
+		if len(reg.MembersIn(top.Host(p).EN)) == 1 {
+			from = p
+			break
+		}
+	}
+	if from < 0 {
+		t.Skip("no lone peer")
+	}
+	res := s.Search(from)
+	if res.Peer >= 0 {
+		t.Fatal("lone peer found a same-EN peer")
+	}
+	if res.Elapsed != time.Duration(DefaultConfig().Rounds)*DefaultConfig().RoundTimeout {
+		t.Fatalf("failed search elapsed %v", res.Elapsed)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSearcher(nil, nil, Config{Rounds: 0, RoundTimeout: time.Second}, 1)
+}

@@ -1,0 +1,27 @@
+package netmodel
+
+import "testing"
+
+func BenchmarkGenerateDefault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(DefaultConfig(), int64(i))
+	}
+}
+
+func BenchmarkRTT(b *testing.B) {
+	top := Generate(DefaultConfig(), 1)
+	n := len(top.Hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = top.RTTms(HostID(i%n), HostID((i*7+3)%n))
+	}
+}
+
+func BenchmarkPath(b *testing.B) {
+	top := Generate(DefaultConfig(), 1)
+	n := len(top.Hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = top.Path(HostID(i%n), HostID((i*7+3)%n))
+	}
+}

@@ -1,0 +1,78 @@
+package netmodel
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// IPv4 is an IPv4 address stored as a big-endian uint32. The address plan
+// matters to this reproduction because Section 5's IP-prefix heuristic keys
+// the DHT on fixed-length prefixes of peer addresses; false-positive and
+// false-negative rates (Figure 11) are entirely a function of how ISPs
+// scatter address blocks across PoPs.
+type IPv4 uint32
+
+// Addr converts to a netip.Addr for formatting and interop.
+func (ip IPv4) Addr() netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)})
+}
+
+// String renders dotted-quad.
+func (ip IPv4) String() string { return ip.Addr().String() }
+
+// Prefix returns the address masked to the first bits bits.
+func (ip IPv4) Prefix(bits int) IPv4 {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return ip
+	}
+	return ip &^ (1<<(32-uint(bits)) - 1)
+}
+
+// SharesPrefix reports whether two addresses agree on their first bits bits.
+func (ip IPv4) SharesPrefix(other IPv4, bits int) bool {
+	return ip.Prefix(bits) == other.Prefix(bits)
+}
+
+// IPBlock is a CIDR block: a base address and a prefix length.
+type IPBlock struct {
+	Base IPv4
+	Bits int
+}
+
+// Contains reports whether addr falls inside the block.
+func (b IPBlock) Contains(addr IPv4) bool {
+	return addr.Prefix(b.Bits) == b.Base.Prefix(b.Bits)
+}
+
+// Size returns the number of addresses in the block.
+func (b IPBlock) Size() uint64 {
+	return 1 << (32 - uint(b.Bits))
+}
+
+// Nth returns the n-th address in the block. It panics if n is out of range.
+func (b IPBlock) Nth(n uint64) IPv4 {
+	if n >= b.Size() {
+		panic(fmt.Sprintf("netmodel: address index %d out of range for %v", n, b))
+	}
+	return b.Base.Prefix(b.Bits) + IPv4(n)
+}
+
+// SubBlock returns the i-th sub-block of the given (longer) prefix length.
+func (b IPBlock) SubBlock(bits int, i uint64) IPBlock {
+	if bits < b.Bits || bits > 32 {
+		panic(fmt.Sprintf("netmodel: sub-block bits %d invalid for /%d", bits, b.Bits))
+	}
+	count := uint64(1) << uint(bits-b.Bits)
+	if i >= count {
+		panic(fmt.Sprintf("netmodel: sub-block index %d out of range (have %d)", i, count))
+	}
+	return IPBlock{Base: b.Base.Prefix(b.Bits) + IPv4(i<<(32-uint(bits))), Bits: bits}
+}
+
+// String renders CIDR notation.
+func (b IPBlock) String() string {
+	return fmt.Sprintf("%s/%d", b.Base.Prefix(b.Bits), b.Bits)
+}

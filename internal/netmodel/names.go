@@ -1,0 +1,59 @@
+package netmodel
+
+import "fmt"
+
+// cityNames is a pool of (name, code) pairs used to label generated cities.
+// Codes appear inside router DNS names, which is how rockettrace infers a
+// router's PoP (Section 3.1).
+var cityNames = [][2]string{
+	{"New York", "nyc"}, {"Los Angeles", "lax"}, {"Chicago", "chi"},
+	{"Houston", "hou"}, {"Phoenix", "phx"}, {"Seattle", "sea"},
+	{"Denver", "den"}, {"Boston", "bos"}, {"Atlanta", "atl"},
+	{"Miami", "mia"}, {"Dallas", "dfw"}, {"San Jose", "sjc"},
+	{"Washington", "iad"}, {"Minneapolis", "msp"}, {"Detroit", "dtw"},
+	{"Portland", "pdx"}, {"Salt Lake City", "slc"}, {"Kansas City", "mci"},
+	{"St Louis", "stl"}, {"Pittsburgh", "pit"}, {"Cleveland", "cle"},
+	{"Philadelphia", "phl"}, {"San Diego", "san"}, {"Sacramento", "smf"},
+	{"Austin", "aus"}, {"Nashville", "bna"}, {"Charlotte", "clt"},
+	{"Raleigh", "rdu"}, {"Columbus", "cmh"}, {"Indianapolis", "ind"},
+	{"Milwaukee", "mke"}, {"Cincinnati", "cvg"}, {"Orlando", "mco"},
+	{"Tampa", "tpa"}, {"Baltimore", "bwi"}, {"Buffalo", "buf"},
+	{"Rochester", "roc"}, {"Albany", "alb"}, {"Syracuse", "syr"},
+	{"Ithaca", "ith"}, {"Hartford", "bdl"}, {"Providence", "pvd"},
+	{"Richmond", "ric"}, {"Norfolk", "orf"}, {"Memphis", "mem"},
+	{"New Orleans", "msy"}, {"Oklahoma City", "okc"}, {"Tucson", "tus"},
+	{"Albuquerque", "abq"}, {"Boise", "boi"}, {"Spokane", "geg"},
+	{"Fresno", "fat"}, {"Omaha", "oma"}, {"Des Moines", "dsm"},
+	{"Madison", "msn"}, {"Louisville", "sdf"}, {"Birmingham", "bhm"},
+	{"Jacksonville", "jax"}, {"El Paso", "elp"}, {"Honolulu", "hnl"},
+}
+
+// ispNames is a pool of short ISP names used in router DNS names.
+var ispNames = []string{
+	"transgrid", "netspan", "corelink", "fibernet", "pathway",
+	"skynetic", "interlace", "quicklink", "broadpath", "metrowave",
+	"lightcore", "spannet", "globalrim", "nexhop", "packetsea",
+	"routeline", "carrier9", "uplinkco", "edgestream", "backhaul1",
+}
+
+// interfacePrefixes imitate common router interface naming.
+var interfacePrefixes = []string{"ge", "xe", "so", "te", "et", "gi"}
+
+// routerName builds the DNS name of a router. nameCity is the city the name
+// *claims*, which differs from the true city for misconfigured routers.
+func routerName(kind RouterKind, idx int, cityCode, asName string) string {
+	prefix := interfacePrefixes[idx%len(interfacePrefixes)]
+	switch kind {
+	case KindCore:
+		return fmt.Sprintf("%s-%d-%d.core%d.%s.%s.net", prefix, idx%8, (idx/8)%4, idx%4, cityCode, asName)
+	case KindBackbone:
+		return fmt.Sprintf("%s-%d-%d.bb%d.%s.%s.net", prefix, idx%8, (idx/8)%4, idx%2, cityCode, asName)
+	default:
+		return fmt.Sprintf("%s-%d-%d.agg%d.%s.%s.net", prefix, idx%8, (idx/8)%4, idx%16, cityCode, asName)
+	}
+}
+
+// domainName synthesises an organisation's DNS domain.
+func domainName(i int) string {
+	return fmt.Sprintf("org%05d.example.com", i)
+}

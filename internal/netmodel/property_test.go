@@ -1,0 +1,108 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPathRTTsMonotone: along any traceroute path, per-hop tree RTTs never
+// decrease (it is a tree walk away from the source).
+func TestPathRTTsMonotone(t *testing.T) {
+	top := Generate(DefaultConfig(), 5)
+	n := len(top.Hosts)
+	err := quick.Check(func(aRaw, bRaw uint32) bool {
+		a := HostID(int(aRaw) % n)
+		b := HostID(int(bRaw) % n)
+		if a == b {
+			return true
+		}
+		prev := 0.0
+		for _, hop := range top.Path(a, b) {
+			if hop.RTTms < prev-1e-9 {
+				return false
+			}
+			prev = hop.RTTms
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriangleViaHub: for two hosts on one PoP, the tree latency never
+// exceeds the sum of their hub latencies plus LAN terms — the star-routing
+// upper bound of Section 2.
+func TestTriangleViaHub(t *testing.T) {
+	top := Generate(DefaultConfig(), 5)
+	checked := 0
+	for i := 0; i < len(top.Hosts) && checked < 2000; i += 3 {
+		for j := i + 1; j < len(top.Hosts) && checked < 2000; j += 7 {
+			a, b := HostID(i), HostID(j)
+			if top.SameEN(a, b) || !top.SamePoPCluster(a, b) {
+				continue
+			}
+			ha, hb := top.Host(a), top.Host(b)
+			ea, eb := top.HostEN(a), top.HostEN(b)
+			bound := ha.LANLatMs + ea.HubLatMs + eb.HubLatMs + hb.LANLatMs
+			if got := top.TreeOneWayMs(a, b); got > bound+1e-9 {
+				t.Fatalf("tree latency %v exceeds via-hub bound %v", got, bound)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no same-PoP pairs checked")
+	}
+}
+
+// TestCommonChainDepthSymmetric: the shared-prefix depth of two access
+// chains does not depend on argument order, and equals the chain length for
+// an EN against itself.
+func TestCommonChainDepthSymmetric(t *testing.T) {
+	top := Generate(DefaultConfig(), 5)
+	for i := 0; i+1 < len(top.ENs) && i < 400; i += 2 {
+		a, b := &top.ENs[i], &top.ENs[i+1]
+		if commonChainDepth(a, b) != commonChainDepth(b, a) {
+			t.Fatal("commonChainDepth asymmetric")
+		}
+		if commonChainDepth(a, a) != len(a.Chain) {
+			t.Fatal("self depth wrong")
+		}
+	}
+}
+
+// TestShortcutDeterministic: the alternate-path decision for a pair is a
+// pure function of the topology seed and the pair.
+func TestShortcutDeterministic(t *testing.T) {
+	top := Generate(DefaultConfig(), 5)
+	n := len(top.Hosts)
+	for trial := 0; trial < 200; trial++ {
+		a := HostID((trial * 37) % n)
+		b := HostID((trial*101 + 5) % n)
+		if top.RTTms(a, b) != top.RTTms(a, b) {
+			t.Fatal("RTT not stable across calls")
+		}
+	}
+}
+
+// TestHubLatenciesSymmetric: PoP-pair latencies form a symmetric matrix
+// with zero diagonal and positive off-diagonals.
+func TestHubLatenciesSymmetric(t *testing.T) {
+	top := Generate(DefaultConfig(), 5)
+	h := top.hubLat
+	for i := 0; i < len(top.PoPs); i++ {
+		if h.oneWay(PoPID(i), PoPID(i)) != 0 {
+			t.Fatal("nonzero diagonal")
+		}
+		for j := i + 1; j < len(top.PoPs); j++ {
+			a, b := PoPID(i), PoPID(j)
+			if h.oneWay(a, b) != h.oneWay(b, a) {
+				t.Fatal("hub latencies asymmetric")
+			}
+			if h.oneWay(a, b) <= 0 {
+				t.Fatalf("non-positive hub latency between %d and %d", i, j)
+			}
+		}
+	}
+}

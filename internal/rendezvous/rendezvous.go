@@ -1,0 +1,155 @@
+// Package rendezvous implements the paper's second mitigation (Section 5):
+// a membership-tracking server inside each end-network. Peers register with
+// their local server on joining a P2P system; a joining peer asks the
+// server for the current members and probes them. The paper's stated
+// concern — the server "needs a sufficiently large number of peers within
+// each end-network to justify the setup" — is made measurable through
+// deployment statistics.
+package rendezvous
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+)
+
+// Service is the per-end-network membership infrastructure. It can track
+// membership for multiple P2P systems, keyed by system name.
+type Service struct {
+	top   *netmodel.Topology
+	tools *measure.Tools
+	// members[system][en] lists registered peers.
+	members map[string]map[netmodel.ENID][]netmodel.HostID
+	// Queries and Registrations account load.
+	Queries       int64
+	Registrations int64
+}
+
+// New deploys the service (conceptually, one server per end-network).
+func New(top *netmodel.Topology, tools *measure.Tools) *Service {
+	return &Service{
+		top:     top,
+		tools:   tools,
+		members: make(map[string]map[netmodel.ENID][]netmodel.HostID),
+	}
+}
+
+// Register adds a peer to its end-network's membership for a system.
+func (s *Service) Register(system string, peer netmodel.HostID) {
+	byEN := s.members[system]
+	if byEN == nil {
+		byEN = make(map[netmodel.ENID][]netmodel.HostID)
+		s.members[system] = byEN
+	}
+	en := s.top.Host(peer).EN
+	for _, p := range byEN[en] {
+		if p == peer {
+			return // idempotent
+		}
+	}
+	byEN[en] = append(byEN[en], peer)
+	s.Registrations++
+}
+
+// Deregister removes a peer.
+func (s *Service) Deregister(system string, peer netmodel.HostID) {
+	byEN := s.members[system]
+	if byEN == nil {
+		return
+	}
+	en := s.top.Host(peer).EN
+	list := byEN[en]
+	for i, p := range list {
+		if p == peer {
+			byEN[en] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Result reports a rendezvous lookup.
+type Result struct {
+	Peer       netmodel.HostID
+	RTTms      float64
+	Candidates int
+	Probes     int
+}
+
+// FindNearest asks the local server for same-network members and probes
+// them, returning the closest responsive one.
+func (s *Service) FindNearest(system string, peer netmodel.HostID) Result {
+	s.Queries++
+	res := Result{Peer: -1, RTTms: math.Inf(1)}
+	byEN := s.members[system]
+	if byEN == nil {
+		return res
+	}
+	en := s.top.Host(peer).EN
+	cands := append([]netmodel.HostID(nil), byEN[en]...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, c := range cands {
+		if c == peer {
+			continue
+		}
+		res.Candidates++
+		d, err := s.tools.LatencyTo(peer, c)
+		res.Probes++
+		if err != nil {
+			continue
+		}
+		if ms := netmodel.Ms(d); ms < res.RTTms {
+			res.Peer = c
+			res.RTTms = ms
+		}
+	}
+	return res
+}
+
+// DeploymentStats quantifies the paper's justification concern: how many
+// end-network servers the deployment needs and how many registered peers
+// each one serves.
+type DeploymentStats struct {
+	ServersNeeded int
+	MeanPeers     float64
+	MedianPeers   int
+	MaxPeers      int
+	// SingletonServers track end-networks whose server serves one peer —
+	// pure overhead.
+	SingletonServers int
+}
+
+// Stats summarises the deployment for a system.
+func (s *Service) Stats(system string) DeploymentStats {
+	byEN := s.members[system]
+	var sizes []int
+	for _, list := range byEN {
+		if len(list) > 0 {
+			sizes = append(sizes, len(list))
+		}
+	}
+	st := DeploymentStats{ServersNeeded: len(sizes)}
+	if len(sizes) == 0 {
+		return st
+	}
+	sort.Ints(sizes)
+	total := 0
+	for _, n := range sizes {
+		total += n
+		if n == 1 {
+			st.SingletonServers++
+		}
+	}
+	st.MeanPeers = float64(total) / float64(len(sizes))
+	st.MedianPeers = sizes[len(sizes)/2]
+	st.MaxPeers = sizes[len(sizes)-1]
+	return st
+}
+
+// String renders the stats compactly.
+func (d DeploymentStats) String() string {
+	return fmt.Sprintf("servers=%d mean=%.1f median=%d max=%d singletons=%d",
+		d.ServersNeeded, d.MeanPeers, d.MedianPeers, d.MaxPeers, d.SingletonServers)
+}

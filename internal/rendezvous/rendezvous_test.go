@@ -1,0 +1,120 @@
+package rendezvous
+
+import (
+	"testing"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+)
+
+func fixture(t *testing.T) (*netmodel.Topology, *Service, []netmodel.HostID) {
+	t.Helper()
+	top := netmodel.Generate(netmodel.DefaultConfig(), 8)
+	tools := measure.NewTools(top, measure.DefaultConfig(), 9)
+	svc := New(top, tools)
+	var peers []netmodel.HostID
+	for i := range top.Hosts {
+		if top.Hosts[i].RespondsTCP && top.Hosts[i].DNS == nil {
+			peers = append(peers, netmodel.HostID(i))
+		}
+	}
+	for _, p := range peers {
+		svc.Register("swarm", p)
+	}
+	return top, svc, peers
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	top, svc, peers := fixture(t)
+	before := svc.Registrations
+	svc.Register("swarm", peers[0])
+	if svc.Registrations != before {
+		t.Fatal("duplicate registration counted")
+	}
+	_ = top
+}
+
+func TestFindNearestStaysInEN(t *testing.T) {
+	top, svc, peers := fixture(t)
+	found := 0
+	for _, p := range peers[:min(60, len(peers))] {
+		res := svc.FindNearest("swarm", p)
+		if res.Peer < 0 {
+			continue
+		}
+		found++
+		if !top.SameEN(p, res.Peer) {
+			t.Fatal("rendezvous returned a peer outside the end-network")
+		}
+		if res.Probes != res.Candidates {
+			t.Fatalf("probes %d != candidates %d", res.Probes, res.Candidates)
+		}
+	}
+	if found == 0 {
+		t.Skip("no EN with multiple registered peers among sample")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	top, svc, peers := fixture(t)
+	// Find an EN with >= 2 peers.
+	var p, q netmodel.HostID = -1, -1
+	for i, a := range peers {
+		for _, b := range peers[i+1:] {
+			if top.SameEN(a, b) {
+				p, q = a, b
+				break
+			}
+		}
+		if p >= 0 {
+			break
+		}
+	}
+	if p < 0 {
+		t.Skip("no same-EN pair")
+	}
+	if res := svc.FindNearest("swarm", p); res.Peer < 0 {
+		t.Fatal("pair not discoverable before deregister")
+	}
+	svc.Deregister("swarm", q)
+	res := svc.FindNearest("swarm", p)
+	if res.Peer == q {
+		t.Fatal("deregistered peer still returned")
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	_, svc, peers := fixture(t)
+	if res := svc.FindNearest("nope", peers[0]); res.Peer >= 0 {
+		t.Fatal("unknown system returned a peer")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, svc, _ := fixture(t)
+	st := svc.Stats("swarm")
+	if st.ServersNeeded == 0 {
+		t.Fatal("no servers counted")
+	}
+	if st.MaxPeers < st.MedianPeers {
+		t.Fatal("max < median")
+	}
+	if st.MeanPeers <= 0 {
+		t.Fatal("mean not positive")
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	// The paper's concern: most home-dominated deployments need lots of
+	// singleton servers.
+	if st.SingletonServers == 0 {
+		t.Fatal("expected singleton servers in a home-heavy population")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIsStable(t *testing.T) {
+	parent := New(7)
+	// Consume some randomness from the parent; the child stream must not
+	// depend on how much was consumed.
+	for i := 0; i < 123; i++ {
+		parent.Float64()
+	}
+	c1 := parent.Split("child").Float64()
+
+	parent2 := New(7)
+	c2 := parent2.Split("child").Float64()
+	if c1 != c2 {
+		t.Fatalf("Split stream depends on parent consumption: %v != %v", c1, c2)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("a")
+	b := parent.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("differently-labelled splits produced %d identical draws", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	parent := New(99)
+	seen := make(map[int64]bool)
+	for i := 0; i < 200; i++ {
+		s := parent.SplitN("x", i)
+		if seen[s.Seed()] {
+			t.Fatalf("SplitN seed collision at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		s := New(seed)
+		x := s.Uniform(3, 9)
+		return x >= 3 && x < 9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		if x := s.LogNormal(2, 0.5); x <= 0 || math.IsNaN(x) {
+			t.Fatalf("LogNormal produced %v", x)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(1)
+	const mu = 3.0
+	n, below := 10000, 0
+	for i := 0; i < n; i++ {
+		if s.LogNormal(mu, 0.7) < math.Exp(mu) {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("median check failed: %.3f of samples below exp(mu)", frac)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		if x := s.Pareto(10, 1.5); x < 10 {
+			t.Fatalf("Pareto sample %v below minimum", x)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(4)
+	}
+	mean := sum / n
+	if mean < 3.8 || mean > 4.2 {
+		t.Fatalf("exponential mean %v, want ~4", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+}
+
+func TestHashLabelDistinct(t *testing.T) {
+	if hashLabel("abc") == hashLabel("abd") {
+		t.Fatal("hashLabel collision on near-identical labels")
+	}
+	if hashLabel("") == hashLabel("a") {
+		t.Fatal("hashLabel collision with empty label")
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.After(1*time.Millisecond, func() { got = append(got, 1) })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var fired bool
+	s.After(time.Millisecond, func() {
+		s.After(time.Millisecond, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("nested event did not run")
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.After(2*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on past scheduling")
+			}
+		}()
+		s.At(time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	s.After(-time.Millisecond, func() {})
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.After(time.Millisecond, func() { count++; s.Stop() })
+	s.After(2*time.Millisecond, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Fatalf("ran %d events after Stop", count)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("ran %d events, want 5", count)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	s.RunUntil(20 * time.Millisecond)
+	if count != 10 {
+		t.Fatalf("ran %d events, want 10", count)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock advanced to %v, want deadline", s.Now())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	s.Run()
+	if s.Executed != 7 {
+		t.Fatalf("Executed = %d", s.Executed)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) ([]float64, []float64) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()*100 + 0.1
+		ys[i] = xs[i] * (0.5 + r.Float64())
+	}
+	return xs, ys
+}
+
+func BenchmarkBinnedPercentiles(b *testing.B) {
+	xs, ys := benchData(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BinnedPercentiles(xs, ys, 12)
+	}
+}
+
+func BenchmarkCDFBuild(b *testing.B) {
+	xs, _ := benchData(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewCDF(xs)
+	}
+}
+
+func BenchmarkCDFAt(b *testing.B) {
+	xs, _ := benchData(10000)
+	c := NewCDF(xs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.At(float64(i % 100))
+	}
+}

@@ -1,0 +1,342 @@
+// Package stats implements the statistical machinery every figure in the
+// paper is built from: empirical CDFs, quantiles, histograms with log-spaced
+// bins, and "binned scatter" series (median plus 5/25/75/95th percentiles per
+// predicted-value bin, the presentation used by Figures 4, 7 and 10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted computes the quantile of an already-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean of xs, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the smallest element of xs, NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs (which it copies).
+func NewCDF(xs []float64) *CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns the fraction of samples <= x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// sort.SearchFloat64s returns the first index with sorted[i] >= x; we
+	// want the count of elements <= x, so search for the first element > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// CountAtMost returns the number of samples <= x (the "cumulative count"
+// y-axis used by Figures 3, 6 and 7).
+func (c *CDF) CountAtMost(x float64) int {
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return i
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (c *CDF) Quantile(q float64) float64 { return quantileSorted(c.sorted, q) }
+
+// FractionWithin returns the fraction of samples in [lo, hi].
+func (c *CDF) FractionWithin(lo, hi float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	loIdx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] >= lo })
+	hiIdx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > hi })
+	return float64(hiIdx-loIdx) / float64(len(c.sorted))
+}
+
+// Points samples the CDF at n log-spaced x positions spanning the sample
+// range, returning (x, fraction<=x) pairs suitable for plotting.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	if lo <= 0 {
+		lo = math.SmallestNonzeroFloat64
+	}
+	if hi <= lo {
+		return []Point{{X: hi, Y: 1}}
+	}
+	pts := make([]Point, 0, n)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := 0; i < n; i++ {
+		x := math.Exp(logLo + (logHi-logLo)*float64(i)/float64(n-1))
+		pts = append(pts, Point{X: x, Y: c.At(x)})
+	}
+	return pts
+}
+
+// Point is an (x, y) pair in a plotted series.
+type Point struct {
+	X, Y float64
+}
+
+// PercentileBin is one bin of a binned scatter plot: the representative x
+// value, the number of samples in the bin, and the 5/25/50/75/95th
+// percentiles of the y values that fell in the bin.
+type PercentileBin struct {
+	X      float64 // representative x (geometric mean of bin edges)
+	Count  int
+	P5     float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+}
+
+// BinnedPercentiles groups the (x, y) samples into nBins log-spaced bins by
+// x and returns, for each non-empty bin, the percentile summary of the y
+// values. This is the exact presentation of Figures 4 and 10 ("binned
+// scatter-plot ... median and percentiles of the sample points that fall in
+// the respective bin").
+func BinnedPercentiles(xs, ys []float64, nBins int) []PercentileBin {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: BinnedPercentiles length mismatch %d != %d", len(xs), len(ys)))
+	}
+	if len(xs) == 0 || nBins <= 0 {
+		return nil
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x <= 0 {
+			continue // log bins need positive x
+		}
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+	}
+	if math.IsInf(minX, 1) || minX == maxX {
+		// Degenerate: everything in one bin.
+		b := summarizeBin(Mean(xs), ys)
+		return []PercentileBin{b}
+	}
+	logMin, logMax := math.Log(minX), math.Log(maxX)
+	width := (logMax - logMin) / float64(nBins)
+	binned := make([][]float64, nBins)
+	for i, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		idx := int((math.Log(x) - logMin) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		binned[idx] = append(binned[idx], ys[i])
+	}
+	var out []PercentileBin
+	for i, yvals := range binned {
+		if len(yvals) == 0 {
+			continue
+		}
+		center := math.Exp(logMin + width*(float64(i)+0.5))
+		out = append(out, summarizeBin(center, yvals))
+	}
+	return out
+}
+
+func summarizeBin(x float64, ys []float64) PercentileBin {
+	sorted := append([]float64(nil), ys...)
+	sort.Float64s(sorted)
+	return PercentileBin{
+		X:      x,
+		Count:  len(ys),
+		P5:     quantileSorted(sorted, 0.05),
+		P25:    quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.50),
+		P75:    quantileSorted(sorted, 0.75),
+		P95:    quantileSorted(sorted, 0.95),
+	}
+}
+
+// Histogram counts samples into nBins log-spaced bins across [min, max].
+type Histogram struct {
+	Edges  []float64 // len nBins+1
+	Counts []int     // len nBins
+}
+
+// NewLogHistogram builds a log-spaced histogram of xs over [lo, hi].
+// Samples outside the range are clamped into the first/last bin.
+func NewLogHistogram(xs []float64, lo, hi float64, nBins int) *Histogram {
+	if lo <= 0 || hi <= lo || nBins <= 0 {
+		panic("stats: NewLogHistogram requires 0 < lo < hi and nBins > 0")
+	}
+	h := &Histogram{
+		Edges:  make([]float64, nBins+1),
+		Counts: make([]int, nBins),
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := 0; i <= nBins; i++ {
+		h.Edges[i] = math.Exp(logLo + (logHi-logLo)*float64(i)/float64(nBins))
+	}
+	width := (logHi - logLo) / float64(nBins)
+	for _, x := range xs {
+		if x <= 0 {
+			h.Counts[0]++
+			continue
+		}
+		idx := int((math.Log(x) - logLo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// Series is a named sequence of points, the unit the figure harness prints.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// FormatTable renders one or more series that share x values as an aligned
+// text table. Series with differing x values are rendered by position.
+func FormatTable(header string, series ...Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", header)
+	if len(series) == 0 {
+		return b.String()
+	}
+	// Column headers.
+	fmt.Fprintf(&b, "%14s", "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	b.WriteByte('\n')
+	n := 0
+	for _, s := range series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var x float64 = math.NaN()
+		for _, s := range series {
+			if i < len(s.Points) {
+				x = s.Points[i].X
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%14.4g", x)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %20.6g", s.Points[i].Y)
+			} else {
+				fmt.Fprintf(&b, " %20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"testing"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+)
+
+func benchGraph(b *testing.B) (*Graph, []netmodel.HostID) {
+	b.Helper()
+	top := netmodel.Generate(netmodel.DefaultConfig(), 1)
+	tools := measure.NewTools(top, measure.DefaultConfig(), 5)
+	vs, err := measure.SelectVantages(top, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var peers []netmodel.HostID
+	for i := range top.Hosts {
+		h := &top.Hosts[i]
+		if (h.RespondsTCP || h.RespondsPing) && h.DNS == nil {
+			peers = append(peers, netmodel.HostID(i))
+		}
+		if len(peers) == 500 {
+			break
+		}
+	}
+	return Build(tools, []netmodel.HostID{vs[0].Host, vs[1].Host, vs[2].Host}, peers), peers
+}
+
+func BenchmarkBoundedDijkstra(b *testing.B) {
+	g, peers := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.ClosestPeers(peers[i%len(peers)], 10)
+	}
+}
+
+func BenchmarkAllPairsWithin(b *testing.B) {
+	g, _ := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.AllPairsWithin(10)
+	}
+}

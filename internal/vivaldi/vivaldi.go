@@ -1,0 +1,299 @@
+// Package vivaldi implements Vivaldi network coordinates (Dabek, Cox,
+// Kaashoek, Morris — SIGCOMM 2004) with the height-vector model: each node
+// holds a Euclidean coordinate plus a height capturing its access-link
+// delay. Coordinates adapt by a spring-relaxation update with adaptive
+// timestep, exactly as in the paper (and as deployed in serf/consul).
+//
+// In this repository Vivaldi serves two roles: the representative
+// coordinate system of the paper's Section 2.2 low-dimensionality
+// discussion, and the substrate for the PIC-style greedy-walk finder. Under
+// the clustering condition the embedding collapses all cluster peers onto
+// nearly one point — the paper's argument made executable.
+package vivaldi
+
+import (
+	"fmt"
+	"math"
+
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/rng"
+)
+
+// Config holds the Vivaldi tuning constants from the paper.
+type Config struct {
+	// Dimensions of the Euclidean part of the coordinate.
+	Dimensions int
+	// CE is the adaptive-timestep constant c_e (paper: 0.25).
+	CE float64
+	// CC is the error-damping constant c_c (paper: 0.25).
+	CC float64
+	// Rounds is how many all-node update rounds the system runs.
+	Rounds int
+	// NeighborsPerRound is how many random neighbours each node samples
+	// per round.
+	NeighborsPerRound int
+	// HeightModel enables the height-vector variant.
+	HeightModel bool
+}
+
+// DefaultConfig matches the Vivaldi paper's recommended constants.
+func DefaultConfig() Config {
+	return Config{
+		Dimensions:        5,
+		CE:                0.25,
+		CC:                0.25,
+		Rounds:            60,
+		NeighborsPerRound: 4,
+		HeightModel:       true,
+	}
+}
+
+// Coord is a Vivaldi coordinate.
+type Coord struct {
+	Vec    []float64
+	Height float64
+	// Err is the node's current error estimate (starts at 1).
+	Err float64
+}
+
+// NewCoord returns the origin coordinate with maximal error.
+func NewCoord(dims int) *Coord {
+	return &Coord{Vec: make([]float64, dims), Err: 1}
+}
+
+// Clone deep-copies the coordinate.
+func (c *Coord) Clone() *Coord {
+	out := &Coord{Vec: append([]float64(nil), c.Vec...), Height: c.Height, Err: c.Err}
+	return out
+}
+
+// DistanceMs predicts the RTT between two coordinates.
+func (c *Coord) DistanceMs(o *Coord) float64 {
+	var ss float64
+	for i := range c.Vec {
+		d := c.Vec[i] - o.Vec[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss) + c.Height + o.Height
+}
+
+// update applies one Vivaldi spring update: node c observed RTT `rtt` to a
+// node at coordinate `other`.
+func (c *Coord) update(other *Coord, rtt float64, cfg Config, src *rng.Source) {
+	if rtt <= 0 {
+		rtt = 0.01
+	}
+	dist := c.DistanceMs(other)
+	// Sample weight balances local and remote error.
+	w := c.Err / (c.Err + other.Err)
+	es := math.Abs(dist-rtt) / rtt
+	c.Err = es*cfg.CE*w + c.Err*(1-cfg.CE*w)
+	if c.Err > 1 {
+		c.Err = 1
+	}
+	if c.Err < 0.01 {
+		c.Err = 0.01
+	}
+	delta := cfg.CC * w * (rtt - dist)
+
+	// Unit vector from other to c; random direction when coincident.
+	dir := make([]float64, len(c.Vec))
+	var norm float64
+	for i := range dir {
+		dir[i] = c.Vec[i] - other.Vec[i]
+		norm += dir[i] * dir[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-9 {
+		for i := range dir {
+			dir[i] = src.NormFloat64()
+		}
+		norm = 0
+		for _, d := range dir {
+			norm += d * d
+		}
+		norm = math.Sqrt(norm)
+	}
+	for i := range c.Vec {
+		c.Vec[i] += delta * dir[i] / norm
+	}
+	if cfg.HeightModel {
+		c.Height += delta * 0.1
+		if c.Height < 0 {
+			c.Height = 0
+		}
+	}
+}
+
+// System is a converged (or converging) set of coordinates over members.
+type System struct {
+	cfg     Config
+	net     *overlay.Network
+	members []int
+	coords  map[int]*Coord
+	src     *rng.Source
+}
+
+// Build runs the Vivaldi protocol: Rounds rounds in which every member
+// samples NeighborsPerRound random peers, measures RTT (maintenance
+// probes), and applies the spring update.
+func Build(net *overlay.Network, members []int, cfg Config, seed int64) *System {
+	if cfg.Dimensions <= 0 || cfg.Rounds <= 0 {
+		panic(fmt.Sprintf("vivaldi: invalid config %+v", cfg))
+	}
+	s := &System{
+		cfg:     cfg,
+		net:     net,
+		members: append([]int(nil), members...),
+		coords:  make(map[int]*Coord, len(members)),
+		src:     rng.New(seed),
+	}
+	for _, m := range members {
+		s.coords[m] = NewCoord(cfg.Dimensions)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, m := range members {
+			for k := 0; k < cfg.NeighborsPerRound; k++ {
+				n := members[s.src.Intn(len(members))]
+				if n == m {
+					continue
+				}
+				rtt := s.net.MaintProbe(m, n)
+				s.coords[m].update(s.coords[n], rtt, s.cfg, s.src)
+			}
+		}
+	}
+	return s
+}
+
+// CoordOf returns a member's coordinate.
+func (s *System) CoordOf(id int) *Coord { return s.coords[id] }
+
+// Members returns the member set.
+func (s *System) Members() []int { return s.members }
+
+// Net returns the underlying probe-counting network.
+func (s *System) Net() *overlay.Network { return s.net }
+
+// PlaceTarget computes a coordinate for a non-member target by probing
+// nProbes random members (query probes) and running update iterations
+// against them — how a freshly joining peer obtains its coordinate.
+func (s *System) PlaceTarget(target, nProbes int) (*Coord, int64) {
+	c := NewCoord(s.cfg.Dimensions)
+	type obs struct {
+		coord *Coord
+		rtt   float64
+	}
+	var observations []obs
+	var probes int64
+	for i := 0; i < nProbes; i++ {
+		m := s.members[s.src.Intn(len(s.members))]
+		if m == target {
+			continue
+		}
+		rtt := s.net.Probe(target, m)
+		probes++
+		observations = append(observations, obs{coord: s.coords[m], rtt: rtt})
+	}
+	// Iterate updates over the fixed observation set to convergence.
+	for iter := 0; iter < 30; iter++ {
+		for _, o := range observations {
+			c.update(o.coord, o.rtt, s.cfg, s.src)
+		}
+	}
+	return c, probes
+}
+
+// MedianAbsRelErr reports the embedding quality over a random sample of
+// member pairs: median |predicted - actual| / actual. It issues maintenance
+// probes for the actual values.
+func (s *System) MedianAbsRelErr(samples int) float64 {
+	errs := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		a := s.members[s.src.Intn(len(s.members))]
+		b := s.members[s.src.Intn(len(s.members))]
+		if a == b {
+			continue
+		}
+		actual := s.net.MaintProbe(a, b)
+		if actual <= 0 {
+			continue
+		}
+		pred := s.coords[a].DistanceMs(s.coords[b])
+		errs = append(errs, math.Abs(pred-actual)/actual)
+	}
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	// Median by partial insertion sort (small samples).
+	for i := 1; i < len(errs); i++ {
+		for j := i; j > 0 && errs[j] < errs[j-1]; j-- {
+			errs[j], errs[j-1] = errs[j-1], errs[j]
+		}
+	}
+	return errs[len(errs)/2]
+}
+
+// Finder is the coordinate-only nearest-peer baseline: place the target,
+// then return the member whose coordinate is closest to the target's. The
+// only network cost is placing the target; member selection is free — and
+// under the clustering condition, hopeless, because all cluster members
+// collapse to the same coordinates.
+type Finder struct {
+	Sys *System
+	// PlacementProbes is how many members the target probes to position
+	// itself (default 16).
+	PlacementProbes int
+	// VerifyTop probes the true latency of the k best members and returns
+	// the best of those (0 disables verification).
+	VerifyTop int
+}
+
+// FindNearest implements overlay.Finder.
+func (f *Finder) FindNearest(target int) overlay.Result {
+	nProbes := f.PlacementProbes
+	if nProbes <= 0 {
+		nProbes = 16
+	}
+	tc, probes := f.Sys.PlaceTarget(target, nProbes)
+
+	type scored struct {
+		id   int
+		pred float64
+	}
+	best := make([]scored, 0, f.VerifyTop+1)
+	insert := func(sc scored) {
+		best = append(best, sc)
+		for i := len(best) - 1; i > 0 && best[i].pred < best[i-1].pred; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		limit := f.VerifyTop
+		if limit < 1 {
+			limit = 1
+		}
+		if len(best) > limit {
+			best = best[:limit]
+		}
+	}
+	for _, m := range f.Sys.members {
+		if m == target {
+			continue
+		}
+		insert(scored{id: m, pred: tc.DistanceMs(f.Sys.coords[m])})
+	}
+	choice, lat := -1, math.Inf(1)
+	if f.VerifyTop > 0 {
+		for _, sc := range best {
+			l := f.Sys.net.Probe(target, sc.id)
+			probes++
+			if l < lat {
+				choice, lat = sc.id, l
+			}
+		}
+	} else {
+		choice = best[0].id
+		lat = f.Sys.net.Probe(target, choice)
+		probes++
+	}
+	return overlay.Result{Peer: choice, LatencyMs: lat, Probes: probes, Hops: 0}
+}
