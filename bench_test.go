@@ -1,7 +1,7 @@
 package nearestpeer
 
 // The repository benchmark suite: one benchmark per table and figure of the
-// paper, plus the DESIGN.md ablations. Each benchmark computes its figure
+// paper, plus the A1-A6 ablations. Each benchmark computes its figure
 // from scratch per iteration (the shared topology is built once, outside
 // the timer) and prints the rendered figure once, so
 //

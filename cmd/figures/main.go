@@ -46,6 +46,7 @@ func main() {
 		{"a4", func() string { return experiments.AblationUCLDepth(scale, *seed).Render() }},
 		{"a5", func() string { return experiments.AblationComposite(scale, *seed).Render() }},
 		{"a6", func() string { return experiments.AblationRingSize(scale, *seed).Render() }},
+		{"c1", func() string { return experiments.ChurnStudy(scale, *seed).Render() }},
 	}
 
 	if *outDir != "" {

@@ -1,7 +1,9 @@
 // Command npsim runs parameterised nearest-peer simulations on the Section
 // 4 clustered latency matrices: pick an algorithm, cluster geometry and
 // query count, and get exact-closest / correct-cluster rates with probe
-// costs — the interactive companion to Figures 8 and 9.
+// costs — the interactive companion to Figures 8 and 9. With -runtime the
+// Meridian search runs as a message protocol on internal/p2p instead of
+// as function calls, and -loss / -churn put the wire in the way.
 package main
 
 import (
@@ -10,6 +12,7 @@ import (
 	"os"
 
 	"nearestpeer/internal/beacon"
+	"nearestpeer/internal/experiments"
 	"nearestpeer/internal/kargerruhl"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
@@ -32,6 +35,9 @@ func main() {
 	ringSize := flag.Int("ring", 16, "Meridian nodes per ring")
 	noise := flag.Float64("noise", 0, "probe jitter fraction (0 = noiseless, as in the paper's simulations)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	runtime := flag.Bool("runtime", false, "run over the internal/p2p message runtime (meridian only)")
+	loss := flag.Float64("loss", 0, "one-way packet loss probability (requires -runtime)")
+	churn := flag.Bool("churn", false, "drive membership churn during queries (requires -runtime)")
 	flag.Parse()
 
 	cfg := latency.DefaultClusteredConfig()
@@ -39,6 +45,44 @@ func main() {
 	cfg.TotalPeers = *peers
 	cfg.Delta = *delta
 	m, gt := latency.BuildClustered(cfg, *seed)
+
+	if *runtime {
+		if *algo != "meridian" {
+			fmt.Fprintf(os.Stderr, "-runtime supports only -algo meridian (got %q)\n", *algo)
+			os.Exit(2)
+		}
+		if *loss < 0 || *loss > 1 {
+			fmt.Fprintf(os.Stderr, "-loss %v outside [0,1]\n", *loss)
+			os.Exit(2)
+		}
+		if *noise > 0 {
+			fmt.Fprintln(os.Stderr, "-noise applies to the static probe model; the runtime measures true wire RTTs")
+			os.Exit(2)
+		}
+		members, targets := overlay.Split(m.N(), 100, *seed+1)
+		fmt.Printf("algo=meridian/p2p peers=%d ENs/cluster=%d (clusters=%d) δ=%.2f queries=%d β=%.2f ring=%d loss=%.0f%% churn=%v\n",
+			m.N(), *ens, gt.NumClusters, *delta, *queries, *beta, *ringSize, *loss*100, *churn)
+		row := experiments.RunMessageMeridian(m, gt, members, targets, experiments.RuntimeOpts{
+			Loss: *loss, Beta: *beta, RingSize: *ringSize,
+			Churn: *churn, Queries: *queries, Seed: *seed,
+		})
+		fmt.Printf("\nP(exact closest peer)   = %.3f\n", row.PExact)
+		fmt.Printf("P(correct cluster)      = %.3f\n", row.PCluster)
+		fmt.Printf("completed before deadline = %.2f\n", row.Done)
+		fmt.Printf("mean probes per query   = %.1f\n", row.MeanProbes)
+		fmt.Printf("mean messages per query = %.1f (maintenance included)\n", row.MeanMsgs)
+		fmt.Printf("mean hops per query     = %.1f\n", row.MeanHops)
+		fmt.Printf("mean virtual ms/query   = %.0f\n", row.MeanMs)
+		fmt.Printf("RPC timeouts            = %d\n", row.Timeouts)
+		if *churn {
+			fmt.Printf("churn                   = %d leaves, %d joins\n", row.Leaves, row.Joins)
+		}
+		return
+	}
+	if *loss > 0 || *churn {
+		fmt.Fprintln(os.Stderr, "-loss and -churn require -runtime")
+		os.Exit(2)
+	}
 	net := overlay.NewNetwork(m)
 	if *noise > 0 {
 		net.SetNoise(*noise, 0.3, *seed+11)

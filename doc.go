@@ -7,8 +7,7 @@
 // UCL and IP-prefix DHT hints over Chord), and a harness regenerating every
 // table and figure of the evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The root package holds the
-// repository-level benchmark suite (bench_test.go), one benchmark per table
-// and figure.
+// See README.md for a package tour and the quick-start commands. The root
+// package holds the repository-level benchmark suite (bench_test.go), one
+// benchmark per table and figure.
 package nearestpeer

@@ -1,0 +1,3 @@
+module nearestpeer
+
+go 1.24

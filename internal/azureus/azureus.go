@@ -4,7 +4,7 @@
 // with a minority of campus/corporate hosts. The real trace is not
 // available; the pipeline that consumes the population (internal/cluster)
 // is identical to the paper's, so only the population itself is synthetic —
-// see DESIGN.md's substitution table.
+// see the substitution notes in internal/experiments.
 package azureus
 
 import (

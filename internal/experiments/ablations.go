@@ -19,7 +19,7 @@ import (
 	"nearestpeer/internal/vivaldi"
 )
 
-// This file implements the ablation benches of DESIGN.md (A1-A6): the
+// This file implements the ablation benches A1-A6: the
 // design-choice studies the paper motivates but does not tabulate.
 
 // ablationClusterCfg is the shared clustering-condition configuration:

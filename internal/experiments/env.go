@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation, plus the ablations DESIGN.md calls out. Each experiment is a
+// evaluation, plus the A1-A6 ablations. Each experiment is a
 // pure function of (Scale, seed) returning a result with a Render method
 // that prints the same rows/series the paper reports; cmd/figures writes
 // them to results/, and bench_test.go wraps each one in a testing.B

@@ -172,3 +172,38 @@ func TestSummarize(t *testing.T) {
 		t.Fatalf("summary %+v", s)
 	}
 }
+
+func TestChurnStudy(t *testing.T) {
+	r := ChurnStudy(Quick, 1)
+	if len(r.Rows) != 5 {
+		t.Fatalf("%d rows, want 5 (static + 4 wire conditions)", len(r.Rows))
+	}
+	static := r.Rows[0]
+	if static.Done != 1 || static.MeanProbes <= 0 || static.MeanMsgs != 0 {
+		t.Fatalf("static baseline implausible: %+v", static)
+	}
+	lossless := r.Rows[1]
+	if lossless.Done != 1 || lossless.Timeouts != 0 {
+		t.Fatalf("lossless wire run lost queries: %+v", lossless)
+	}
+	// The lossless message protocol walks the same algorithm: its probe
+	// cost must land in the static baseline's neighbourhood.
+	if ratio := lossless.MeanProbes / static.MeanProbes; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("probe cost diverged from static by %.2fx", ratio)
+	}
+	lossy := r.Rows[2]
+	if lossy.Timeouts == 0 || lossy.Done >= 1 {
+		t.Fatalf("5%% loss run shows no wire effects: %+v", lossy)
+	}
+	for _, row := range r.Rows[3:] {
+		if row.Leaves == 0 || row.Joins == 0 {
+			t.Fatalf("churn condition %q saw no churn", row.Name)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"loss=5%", "churn", "probes/q", "leaves"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -89,6 +89,10 @@ func (m *TopologyMatrix) LatencyMs(i, j int) float64 {
 // metric, as wide-area latencies are) and perturbed with mild multiplicative
 // noise (triangle-inequality violations of the kind real measurements show).
 func SyntheticMeridianDataset(n int, seed int64) *Dense {
+	if n < 2 {
+		// No pairs to rescale; a 0×0 or 1×1 matrix is all zeros anyway.
+		return NewDense(n)
+	}
 	src := rng.New(seed)
 	const dims = 5
 	coords := make([][dims]float64, n)

@@ -60,14 +60,14 @@ type Config struct {
 	VLANCrossMs float64
 
 	// Measurement-visibility model.
-	AnonymousRouterProb    float64
-	MisconfiguredNameProb  float64
-	MultihomedProbHome     float64
-	MultihomedProbCorp     float64
-	PingRespProbHome       float64
-	PingRespProbCorp       float64
-	TCPRespProbHome        float64
-	TCPRespProbCorp        float64
+	AnonymousRouterProb   float64
+	MisconfiguredNameProb float64
+	MultihomedProbHome    float64
+	MultihomedProbCorp    float64
+	PingRespProbHome      float64
+	PingRespProbCorp      float64
+	TCPRespProbHome       float64
+	TCPRespProbCorp       float64
 	// DNS deployment.
 	DNSServerENProb float64 // fraction of corporate ENs hosting DNS servers
 	DNSGeoSplitProb float64 // P(second server of a domain lives elsewhere)

@@ -1,0 +1,131 @@
+package p2p
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nearestpeer/internal/rng"
+)
+
+// ChurnConfig parameterises the membership process. Each driven node
+// alternates online sessions and offline gaps; with exponential gaps the
+// rejoin stream is a Poisson process, the standard churn model.
+type ChurnConfig struct {
+	// MeanSession is the mean online session length.
+	MeanSession time.Duration
+	// SessionSigma, when > 0, draws sessions from a log-normal with this
+	// sigma (heavy-tailed session times, as measured p2p systems show)
+	// with the mean matched to MeanSession; 0 keeps sessions exponential.
+	SessionSigma float64
+	// MeanOffline is the mean downtime before a node rejoins.
+	MeanOffline time.Duration
+	// GracefulProb is the probability a departure is graceful (the node
+	// tells its neighbours) rather than a crash (it just goes silent).
+	GracefulProb float64
+	// Horizon, when > 0, stops scheduling churn events past this virtual
+	// time, letting the kernel's event queue drain. 0 churns forever —
+	// drive the kernel with RunUntil or Stop in that case.
+	Horizon time.Duration
+}
+
+// DefaultChurnConfig returns a moderately harsh process: 2-minute mean
+// sessions (log-normal, sigma 1 — most sessions short, a heavy tail long),
+// 30 s mean downtime, and half of all departures are crashes.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		MeanSession:  2 * time.Minute,
+		SessionSigma: 1,
+		MeanOffline:  30 * time.Second,
+		GracefulProb: 0.5,
+	}
+}
+
+// Churn drives nodes up and down over virtual time. The protocol layered
+// on the runtime observes membership through the two hooks; the generator
+// itself only toggles node liveness.
+type Churn struct {
+	// OnLeave fires just before a node goes down. graceful reports
+	// whether the node gets to say goodbye; on a crash the protocol hook
+	// must not send anything on the node's behalf.
+	OnLeave func(id NodeID, graceful bool)
+	// OnJoin fires just after a node comes back up.
+	OnJoin func(id NodeID)
+
+	// Joins, Leaves and Crashes count membership events (Crashes ⊆ Leaves).
+	Joins, Leaves, Crashes int
+
+	rt  *Runtime
+	cfg ChurnConfig
+	src *rng.Source
+}
+
+// NewChurn creates a generator with its own random stream.
+func NewChurn(rt *Runtime, cfg ChurnConfig, seed int64) *Churn {
+	if cfg.MeanSession <= 0 || cfg.MeanOffline <= 0 {
+		panic(fmt.Sprintf("p2p: invalid churn config %+v", cfg))
+	}
+	return &Churn{rt: rt, cfg: cfg, src: rng.New(seed).Split("churn")}
+}
+
+// session draws one online session length.
+func (c *Churn) session() time.Duration {
+	mean := float64(c.cfg.MeanSession)
+	if s := c.cfg.SessionSigma; s > 0 {
+		// Match the log-normal mean exp(mu + s²/2) to MeanSession.
+		mu := math.Log(mean) - s*s/2
+		return time.Duration(c.src.LogNormal(mu, s))
+	}
+	return time.Duration(c.src.Exponential(mean))
+}
+
+// Drive starts the churn process for the given (currently live) nodes:
+// each gets a session clock now, and alternates leave/rejoin from then on.
+func (c *Churn) Drive(ids []NodeID) {
+	for _, id := range ids {
+		c.scheduleLeave(id)
+	}
+}
+
+// after schedules fn unless the horizon cuts the chain.
+func (c *Churn) after(d time.Duration, fn func()) bool {
+	if h := c.cfg.Horizon; h > 0 && c.rt.Kernel.Now()+d > h {
+		return false
+	}
+	c.rt.Kernel.After(d, fn)
+	return true
+}
+
+func (c *Churn) scheduleLeave(id NodeID) {
+	c.after(c.session(), func() {
+		n := c.rt.Node(id)
+		if n == nil || !n.alive {
+			return
+		}
+		graceful := c.src.Bool(c.cfg.GracefulProb)
+		c.Leaves++
+		if !graceful {
+			c.Crashes++
+		}
+		if c.OnLeave != nil {
+			c.OnLeave(id, graceful)
+		}
+		n.Stop()
+		c.scheduleJoin(id)
+	})
+}
+
+func (c *Churn) scheduleJoin(id NodeID) {
+	c.after(time.Duration(c.src.Exponential(float64(c.cfg.MeanOffline))), func() {
+		n := c.rt.Node(id)
+		if n == nil || n.alive {
+			return
+		}
+		n.Restart()
+		c.Joins++
+		if c.OnJoin != nil {
+			c.OnJoin(id)
+		}
+		c.scheduleLeave(id)
+	})
+}

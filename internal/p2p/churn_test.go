@@ -1,0 +1,104 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/sim"
+)
+
+func TestChurnTogglesLiveness(t *testing.T) {
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(20), DefaultConfig(), 1)
+	ids := make([]NodeID, 20)
+	for i := range ids {
+		ids[i] = NodeID(i)
+		rt.AddNode(ids[i])
+	}
+	cfg := ChurnConfig{
+		MeanSession:  10 * time.Second,
+		MeanOffline:  5 * time.Second,
+		GracefulProb: 0.5,
+		Horizon:      5 * time.Minute,
+	}
+	churn := NewChurn(rt, cfg, 42)
+	var joins, leaves, graceful int
+	churn.OnLeave = func(id NodeID, g bool) {
+		leaves++
+		if g {
+			graceful++
+		}
+		if !rt.Alive(id) {
+			t.Error("OnLeave fired for a node already down")
+		}
+	}
+	churn.OnJoin = func(id NodeID) {
+		joins++
+		if !rt.Alive(id) {
+			t.Error("OnJoin fired before the node came up")
+		}
+	}
+	churn.Drive(ids)
+	kernel.Run() // horizon bounds the chain, so the queue drains
+
+	if leaves == 0 || joins == 0 {
+		t.Fatalf("no churn: %d leaves, %d joins", leaves, joins)
+	}
+	if leaves != churn.Leaves || joins != churn.Joins {
+		t.Fatalf("hook/counter mismatch: %d/%d vs %d/%d", leaves, joins, churn.Leaves, churn.Joins)
+	}
+	if graceful == 0 || graceful == leaves {
+		t.Fatalf("graceful split degenerate: %d of %d", graceful, leaves)
+	}
+	if churn.Crashes != leaves-graceful {
+		t.Fatalf("crashes %d, want %d", churn.Crashes, leaves-graceful)
+	}
+	// With a 5-minute horizon, ~15 s cycles and 20 nodes, dozens of
+	// sessions must have ended.
+	if leaves < 20 {
+		t.Fatalf("suspiciously little churn: %d leaves", leaves)
+	}
+}
+
+func TestChurnHorizonDrainsQueue(t *testing.T) {
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(4), DefaultConfig(), 1)
+	ids := []NodeID{0, 1, 2, 3}
+	for _, id := range ids {
+		rt.AddNode(id)
+	}
+	cfg := DefaultChurnConfig()
+	cfg.Horizon = 10 * time.Minute
+	churn := NewChurn(rt, cfg, 7)
+	churn.Drive(ids)
+	end := kernel.Run()
+	if end > cfg.Horizon {
+		t.Fatalf("event beyond horizon: %v", end)
+	}
+	if kernel.Pending() != 0 {
+		t.Fatalf("%d events still queued", kernel.Pending())
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	run := func() (int, int, int) {
+		kernel := sim.New()
+		rt := New(kernel, lineMatrix(10), DefaultConfig(), 3)
+		ids := make([]NodeID, 10)
+		for i := range ids {
+			ids[i] = NodeID(i)
+			rt.AddNode(ids[i])
+		}
+		cfg := DefaultChurnConfig()
+		cfg.Horizon = 20 * time.Minute
+		churn := NewChurn(rt, cfg, 5)
+		churn.Drive(ids)
+		kernel.Run()
+		return churn.Joins, churn.Leaves, churn.Crashes
+	}
+	j1, l1, c1 := run()
+	j2, l2, c2 := run()
+	if j1 != j2 || l1 != l2 || c1 != c2 {
+		t.Fatalf("same seed diverged: %d/%d/%d vs %d/%d/%d", j1, l1, c1, j2, l2, c2)
+	}
+}

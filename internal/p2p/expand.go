@@ -1,0 +1,159 @@
+package p2p
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file ports the Section 5 expanding multicast search to the message
+// runtime: peers subscribe to a well-known group, a searcher multicasts
+// find-requests with a latency scope that grows per round (standing in for
+// TTL scope), and subscribed peers answer with a one-way found-report. The
+// earliest report of the first answered round wins — over a real wire that
+// is exactly the closest responsive peer, unless loss ate its report.
+
+// Expanding-search wire message types.
+const (
+	// MsgFind is the scoped multicast query.
+	MsgFind = "x_find"
+	// MsgFound is a responder's one-way answer.
+	MsgFound = "x_found"
+)
+
+// ExpandGroup is the well-known multicast group the search uses.
+const ExpandGroup = "nearest-peer"
+
+// ExpandConfig tunes the expanding search.
+type ExpandConfig struct {
+	// InitialRadiusMs is round 0's latency scope.
+	InitialRadiusMs float64
+	// RadiusMult grows the scope per round.
+	RadiusMult float64
+	// Rounds bounds the expansion.
+	Rounds int
+	// RoundTimeout is how long the searcher waits out each round; it must
+	// exceed the largest scope or answers arrive after the round closed
+	// (they still count — a late answer resolves the search when it lands).
+	RoundTimeout time.Duration
+}
+
+// DefaultExpandConfig starts at 1 ms and quadruples for five rounds
+// (1, 4, 16, 64, 256 ms scopes), waiting 400 ms per round.
+func DefaultExpandConfig() ExpandConfig {
+	return ExpandConfig{InitialRadiusMs: 1, RadiusMult: 4, Rounds: 5, RoundTimeout: 400 * time.Millisecond}
+}
+
+// findMsg is the multicast query payload.
+type findMsg struct {
+	SID  uint64
+	From NodeID
+}
+
+// foundMsg is the answer payload.
+type foundMsg struct{ SID uint64 }
+
+// ExpandResult reports one search's outcome.
+type ExpandResult struct {
+	// Peer is the earliest responder (-1 when no round answered).
+	Peer int
+	// RTTms is the measured RTT to Peer (request plus report travel).
+	RTTms float64
+	// Rounds is how many rounds ran before the answer arrived.
+	Rounds int
+	// Messages is the number of multicast copies sent.
+	Messages int
+	// Elapsed is the virtual time from search start to resolution.
+	Elapsed time.Duration
+	// Found reports whether any peer answered.
+	Found bool
+}
+
+// expandSearch is one in-flight search at its searcher.
+type expandSearch struct {
+	sid        uint64
+	client     NodeID
+	round      int
+	started    time.Duration
+	roundStart time.Duration
+	messages   int
+	done       func(ExpandResult)
+}
+
+// Expanding runs expanding-ring searches over a Runtime. Members must
+// Register; the searcher itself need not be a member.
+type Expanding struct {
+	rt       *Runtime
+	cfg      ExpandConfig
+	searches map[uint64]*expandSearch
+	nextSID  uint64
+}
+
+// NewExpanding creates the protocol instance.
+func NewExpanding(rt *Runtime, cfg ExpandConfig) *Expanding {
+	if cfg.Rounds <= 0 || cfg.RoundTimeout <= 0 || cfg.InitialRadiusMs <= 0 || cfg.RadiusMult <= 1 {
+		panic(fmt.Sprintf("p2p: invalid expand config %+v", cfg))
+	}
+	return &Expanding{rt: rt, cfg: cfg, searches: make(map[uint64]*expandSearch)}
+}
+
+// Register subscribes a node to the search group and installs the
+// responder handler.
+func (e *Expanding) Register(id NodeID) {
+	n := e.rt.AddNode(id)
+	e.rt.JoinGroup(ExpandGroup, id)
+	n.Handle(MsgFind, func(n *Node, env Envelope) {
+		n.Send(env.From, MsgFound, foundMsg{SID: env.Payload.(findMsg).SID})
+	})
+}
+
+// Deregister unsubscribes a node (graceful leave; a crashed node is simply
+// never delivered to, but still counts as a sent copy, like a dead host
+// in a real multicast group).
+func (e *Expanding) Deregister(id NodeID) { e.rt.LeaveGroup(ExpandGroup, id) }
+
+// Search runs the expanding search from client. done fires exactly once:
+// with the earliest responder, or unfound after the last round times out.
+func (e *Expanding) Search(client NodeID, done func(ExpandResult)) {
+	n := e.rt.AddNode(client)
+	e.nextSID++
+	s := &expandSearch{sid: e.nextSID, client: client, started: e.rt.Kernel.Now(), done: done}
+	e.searches[s.sid] = s
+	n.Handle(MsgFound, func(n *Node, env Envelope) {
+		fm := env.Payload.(foundMsg)
+		sr, ok := e.searches[fm.SID]
+		if !ok {
+			return // already resolved; later (= farther) answers lose
+		}
+		delete(e.searches, fm.SID)
+		now := e.rt.Kernel.Now()
+		sr.done(ExpandResult{
+			Peer:     int(env.From),
+			RTTms:    msOf(now - sr.roundStart),
+			Rounds:   sr.round, // round counts multicasts already sent
+			Messages: sr.messages,
+			Elapsed:  now - sr.started,
+			Found:    true,
+		})
+	})
+	e.runRound(s)
+}
+
+// runRound multicasts one round's scope and schedules the next.
+func (e *Expanding) runRound(s *expandSearch) {
+	if _, ok := e.searches[s.sid]; !ok {
+		return
+	}
+	if s.round >= e.cfg.Rounds {
+		delete(e.searches, s.sid)
+		s.done(ExpandResult{Peer: -1, Rounds: e.cfg.Rounds, Messages: s.messages, Elapsed: e.rt.Kernel.Now() - s.started, Found: false})
+		return
+	}
+	radius := e.cfg.InitialRadiusMs
+	for i := 0; i < s.round; i++ {
+		radius *= e.cfg.RadiusMult
+	}
+	s.roundStart = e.rt.Kernel.Now()
+	s.messages += e.rt.Multicast(s.client, ExpandGroup, MsgFind, findMsg{SID: s.sid, From: s.client}, radius)
+	s.round++
+	e.rt.Kernel.After(e.cfg.RoundTimeout, func() { e.runRound(s) })
+}

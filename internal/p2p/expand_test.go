@@ -1,0 +1,81 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/sim"
+)
+
+func TestExpandingFindsNearestRegistered(t *testing.T) {
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(6), DefaultConfig(), 1)
+	e := NewExpanding(rt, ExpandConfig{
+		InitialRadiusMs: 5,
+		RadiusMult:      3,
+		Rounds:          4,
+		RoundTimeout:    300 * time.Millisecond,
+	})
+	// Members at 20, 30, 50 ms from searcher 0; node 1 (10 ms) not a member.
+	for _, id := range []NodeID{2, 3, 5} {
+		e.Register(id)
+	}
+	var res ExpandResult
+	e.Search(0, func(r ExpandResult) { res = r })
+	kernel.Run()
+	if !res.Found || res.Peer != 2 {
+		t.Fatalf("found %v peer %d, want member 2", res.Found, res.Peer)
+	}
+	if res.RTTms != 20 {
+		t.Fatalf("measured %v ms, want 20", res.RTTms)
+	}
+	// Scopes 5, 15, 45: node 2 first reachable in round 3.
+	if res.Rounds != 3 {
+		t.Fatalf("resolved in round %d, want 3", res.Rounds)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no multicast copies counted")
+	}
+}
+
+func TestExpandingUnfoundAfterAllRounds(t *testing.T) {
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(6), DefaultConfig(), 1)
+	cfg := DefaultExpandConfig()
+	cfg.Rounds = 2
+	cfg.InitialRadiusMs = 1 // scopes 1, 4 ms: nobody is that close
+	e := NewExpanding(rt, cfg)
+	e.Register(5)
+	var res ExpandResult
+	called := 0
+	e.Search(0, func(r ExpandResult) { res = r; called++ })
+	kernel.Run()
+	if called != 1 {
+		t.Fatalf("done fired %d times", called)
+	}
+	if res.Found || res.Peer != -1 || res.Rounds != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestExpandingSkipsCrashedAndDeregistered(t *testing.T) {
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(6), DefaultConfig(), 1)
+	e := NewExpanding(rt, ExpandConfig{
+		InitialRadiusMs: 100,
+		RadiusMult:      2,
+		Rounds:          1,
+		RoundTimeout:    500 * time.Millisecond,
+	})
+	for _, id := range []NodeID{1, 2, 3} {
+		e.Register(id)
+	}
+	rt.Node(1).Stop() // crashed: silent
+	e.Deregister(2)   // graceful: no longer subscribed
+	var res ExpandResult
+	e.Search(0, func(r ExpandResult) { res = r })
+	kernel.Run()
+	if res.Peer != 3 {
+		t.Fatalf("peer %d, want 3", res.Peer)
+	}
+}

@@ -1,0 +1,126 @@
+package p2p
+
+import "time"
+
+// Handler processes an incoming request or one-way message at a node.
+// Handlers run as kernel events: they may send, request, and schedule, but
+// must not block (there is nothing to block on — the runtime is
+// callback-driven).
+type Handler func(n *Node, env Envelope)
+
+// call is one outstanding request parked in the inflight map. The timeout
+// event does not cancel; it checks whether the MsgID is still inflight, so
+// a response that arrived first wins the race by deleting the entry.
+type call struct {
+	onReply   func(Envelope)
+	onTimeout func()
+}
+
+// Node is one runtime endpoint: an inbox dispatching by message type, an
+// inflight map correlating responses to requests, and an up/down flag the
+// churn generator toggles.
+type Node struct {
+	// ID is the node's matrix index.
+	ID NodeID
+
+	rt       *Runtime
+	alive    bool
+	handlers map[string]Handler
+	inflight map[uint64]*call
+}
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Runtime returns the owning runtime.
+func (n *Node) Runtime() *Runtime { return n.rt }
+
+// Handle installs the handler for a message type (replacing any previous
+// one). Messages with no handler and no inflight correlation are dropped,
+// as an unknown UDP datagram would be.
+func (n *Node) Handle(typ string, h Handler) { n.handlers[typ] = h }
+
+// Stop crashes the node: it stops receiving, and every outstanding request
+// it made is forgotten — their timeout events will find nothing to fire.
+func (n *Node) Stop() {
+	n.alive = false
+	n.inflight = make(map[uint64]*call)
+}
+
+// Restart brings a stopped node back up with its handlers intact and no
+// inflight state, as a process restart would.
+func (n *Node) Restart() {
+	n.alive = true
+	n.inflight = make(map[uint64]*call)
+}
+
+// Send transmits a one-way message (no correlation, no timeout).
+func (n *Node) Send(to NodeID, typ string, payload any) {
+	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: n.rt.allocMsgID(), Payload: payload})
+}
+
+// Request transmits a request and parks a waiter in the inflight map.
+// Exactly one of onReply/onTimeout fires (neither, if this node dies
+// first). A non-positive timeout uses the runtime default. The MsgID is
+// returned for tests and tracing.
+func (n *Node) Request(to NodeID, typ string, payload any, timeout time.Duration, onReply func(Envelope), onTimeout func()) uint64 {
+	if timeout <= 0 {
+		timeout = n.rt.cfg.RPCTimeout
+	}
+	id := n.rt.allocMsgID()
+	n.inflight[id] = &call{onReply: onReply, onTimeout: onTimeout}
+	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: id, Payload: payload})
+	n.rt.Kernel.After(timeout, func() {
+		c, ok := n.inflight[id]
+		if !ok || !n.alive {
+			return // answered, or we restarted meanwhile
+		}
+		delete(n.inflight, id)
+		n.rt.Metrics.Timeouts++
+		if c.onTimeout != nil {
+			c.onTimeout()
+		}
+	})
+	return id
+}
+
+// Reply responds to a request, echoing its MsgID so the requester's
+// inflight lookup correlates it.
+func (n *Node) Reply(req Envelope, typ string, payload any) {
+	n.rt.send(Envelope{Type: typ, From: n.ID, To: req.From, MsgID: req.MsgID, Resp: true, Payload: payload})
+}
+
+// deliver dispatches an arrived envelope: responses with a MsgID this node
+// has inflight go to their waiter, everything else to the type handler.
+func (n *Node) deliver(env Envelope) {
+	if env.Resp {
+		if c, ok := n.inflight[env.MsgID]; ok {
+			delete(n.inflight, env.MsgID)
+			if c.onReply != nil {
+				c.onReply(env)
+			}
+		}
+		return
+	}
+	if h, ok := n.handlers[env.Type]; ok {
+		h(n, env)
+	}
+}
+
+// Ping measures the RTT to a peer over the wire: a ping request whose
+// round-trip virtual time is the measurement. maint selects the probe
+// account (construction/repair vs query cost); the counter increments at
+// issue time — cost is paid whether or not the pong comes back, matching
+// the static Network's accounting, which has no way to fail. done receives
+// (rtt, true) on a pong or (0, false) on timeout.
+func (n *Node) Ping(to NodeID, timeout time.Duration, maint bool, done func(rttMs float64, ok bool)) {
+	if maint {
+		n.rt.Metrics.MaintProbes++
+	} else {
+		n.rt.Metrics.QueryProbes++
+	}
+	start := n.rt.Kernel.Now()
+	n.Request(to, MsgPing, nil, timeout,
+		func(Envelope) { done(msOf(n.rt.Kernel.Now()-start), true) },
+		func() { done(0, false) })
+}

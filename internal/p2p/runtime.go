@@ -1,0 +1,154 @@
+package p2p
+
+import (
+	"fmt"
+	"sort"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+)
+
+// Runtime is the message transport: it owns the kernel, the latency matrix
+// that prices every link, the loss model, the node registry and the global
+// metrics. One-way delivery takes half the matrix RTT, so a request/response
+// round trip measured in virtual time equals the matrix entry exactly —
+// which is what makes ping-over-messages interchangeable with the static
+// simulator's Probe.
+type Runtime struct {
+	// Kernel is the discrete-event clock all activity runs on.
+	Kernel *sim.Sim
+	// Metrics aggregates wire- and probe-level costs.
+	Metrics Metrics
+
+	cfg       Config
+	m         latency.Matrix
+	lossSrc   *rng.Source
+	nodes     map[NodeID]*Node
+	groups    map[string][]NodeID
+	nextMsgID uint64
+}
+
+// New creates a runtime over a latency matrix. The seed drives only the
+// loss model; protocol randomness comes from the protocols' own streams.
+func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
+	if cfg.LossProb < 0 || cfg.LossProb > 1 {
+		panic(fmt.Sprintf("p2p: loss probability %v out of [0,1]", cfg.LossProb))
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = DefaultConfig().RPCTimeout
+	}
+	return &Runtime{
+		Kernel:  kernel,
+		cfg:     cfg,
+		m:       m,
+		lossSrc: rng.New(seed).Split("loss"),
+		nodes:   make(map[NodeID]*Node),
+		groups:  make(map[string][]NodeID),
+	}
+}
+
+// RTTms returns the true link RTT between two nodes in milliseconds.
+func (r *Runtime) RTTms(a, b NodeID) float64 { return r.m.LatencyMs(int(a), int(b)) }
+
+// AddNode registers (or returns, if already registered) the node for a
+// matrix index and brings it up alive. Every node answers pings.
+func (r *Runtime) AddNode(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= r.m.N() {
+		panic(fmt.Sprintf("p2p: node %d outside matrix population %d", id, r.m.N()))
+	}
+	if n, ok := r.nodes[id]; ok {
+		if !n.alive {
+			n.Restart()
+		}
+		return n
+	}
+	n := &Node{
+		ID:       id,
+		rt:       r,
+		alive:    true,
+		handlers: make(map[string]Handler),
+		inflight: make(map[uint64]*call),
+	}
+	n.Handle(MsgPing, func(n *Node, env Envelope) {
+		n.Reply(env, MsgPong, nil)
+	})
+	r.nodes[id] = n
+	return n
+}
+
+// Node returns the registered node for id, or nil.
+func (r *Runtime) Node(id NodeID) *Node { return r.nodes[id] }
+
+// Alive reports whether id is registered and up.
+func (r *Runtime) Alive(id NodeID) bool {
+	n := r.nodes[id]
+	return n != nil && n.alive
+}
+
+// JoinGroup subscribes a node to a named multicast group (the well-known
+// group of the Section 5 expanding search). Idempotent.
+func (r *Runtime) JoinGroup(group string, id NodeID) {
+	for _, m := range r.groups[group] {
+		if m == id {
+			return
+		}
+	}
+	r.groups[group] = append(r.groups[group], id)
+	sort.Slice(r.groups[group], func(i, j int) bool { return r.groups[group][i] < r.groups[group][j] })
+}
+
+// LeaveGroup removes a node from a multicast group.
+func (r *Runtime) LeaveGroup(group string, id NodeID) {
+	ms := r.groups[group]
+	for i, m := range ms {
+		if m == id {
+			r.groups[group] = append(ms[:i:i], ms[i+1:]...)
+			return
+		}
+	}
+}
+
+// Multicast sends one-way copies of a message to every live group member
+// within radiusMs of the sender (a latency-scoped delivery standing in for
+// TTL-scoped IP multicast). Each copy is priced and lossy like a unicast.
+// It returns the number of copies handed to the transport.
+func (r *Runtime) Multicast(from NodeID, group, typ string, payload any, radiusMs float64) int {
+	sent := 0
+	for _, m := range r.groups[group] {
+		if m == from || !r.Alive(m) || r.RTTms(from, m) > radiusMs {
+			continue
+		}
+		r.send(Envelope{Type: typ, From: from, To: m, MsgID: r.allocMsgID(), Payload: payload})
+		sent++
+	}
+	return sent
+}
+
+// allocMsgID hands out runtime-unique correlation IDs.
+func (r *Runtime) allocMsgID() uint64 {
+	r.nextMsgID++
+	return r.nextMsgID
+}
+
+// send prices, maybe drops, and schedules delivery of one envelope. The
+// loss draw happens at send time; aliveness of the destination is checked
+// at delivery time, so a message in flight to a node that crashes meanwhile
+// is silently swallowed — exactly the failure a timeout exists to cover.
+func (r *Runtime) send(env Envelope) {
+	r.Metrics.MsgsSent++
+	if r.cfg.LossProb > 0 && r.lossSrc.Bool(r.cfg.LossProb) {
+		r.Metrics.MsgsLost++
+		return
+	}
+	oneWay := durOf(r.RTTms(env.From, env.To) / 2)
+	r.Kernel.After(oneWay, func() {
+		dst := r.nodes[env.To]
+		if dst == nil || !dst.alive {
+			r.Metrics.MsgsDead++
+			return
+		}
+		r.Metrics.MsgsDelivered++
+		dst.deliver(env)
+	})
+}

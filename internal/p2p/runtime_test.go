@@ -1,0 +1,194 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/sim"
+)
+
+// lineMatrix builds a small dense matrix with rtt(i,j) = 10*|i-j| ms.
+func lineMatrix(n int) *latency.Dense {
+	m := latency.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 10*float64(j-i))
+		}
+	}
+	return m
+}
+
+func newTestRuntime(t *testing.T, n int, loss float64) (*sim.Sim, *Runtime) {
+	t.Helper()
+	kernel := sim.New()
+	return kernel, New(kernel, lineMatrix(n), Config{LossProb: loss, RPCTimeout: time.Second}, 1)
+}
+
+func TestRequestReplyCorrelation(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 4, 0)
+	a, b := rt.AddNode(0), rt.AddNode(2)
+	b.Handle("echo", func(n *Node, env Envelope) {
+		n.Reply(env, "echo_ok", env.Payload)
+	})
+	var got any
+	var at time.Duration
+	a.Request(b.ID, "echo", "hello", 0, func(env Envelope) {
+		got = env.Payload
+		at = kernel.Now()
+	}, func() { t.Error("unexpected timeout") })
+	kernel.Run()
+	if got != "hello" {
+		t.Fatalf("payload = %v", got)
+	}
+	// One-way is rtt/2 each direction: the round trip is the matrix RTT.
+	if want := durOf(20); at != want {
+		t.Fatalf("reply at %v, want %v", at, want)
+	}
+	if rt.Metrics.MsgsSent != 2 || rt.Metrics.MsgsDelivered != 2 {
+		t.Fatalf("metrics %+v", rt.Metrics)
+	}
+}
+
+func TestPingMeasuresMatrixRTT(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 4, 0)
+	a := rt.AddNode(0)
+	rt.AddNode(3)
+	var rtt float64
+	ok := false
+	a.Ping(3, 0, false, func(ms float64, o bool) { rtt, ok = ms, o })
+	kernel.Run()
+	if !ok || rtt != 30 {
+		t.Fatalf("ping = (%v, %v), want (30, true)", rtt, ok)
+	}
+	if rt.Metrics.QueryProbes != 1 || rt.Metrics.MaintProbes != 0 {
+		t.Fatalf("probe accounting %+v", rt.Metrics)
+	}
+}
+
+func TestTimeoutUnderTotalLoss(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 2, 1)
+	a := rt.AddNode(0)
+	rt.AddNode(1)
+	timedOut := false
+	a.Request(1, MsgPing, nil, 500*time.Millisecond,
+		func(Envelope) { t.Error("reply through 100% loss") },
+		func() { timedOut = true })
+	kernel.Run()
+	if !timedOut || rt.Metrics.Timeouts != 1 || rt.Metrics.MsgsLost != 1 {
+		t.Fatalf("timedOut=%v metrics %+v", timedOut, rt.Metrics)
+	}
+}
+
+func TestCrashedNodeIsSilent(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 2, 0)
+	a, b := rt.AddNode(0), rt.AddNode(1)
+	b.Stop()
+	timedOut := false
+	a.Ping(1, 200*time.Millisecond, false, func(_ float64, ok bool) { timedOut = !ok })
+	kernel.Run()
+	if !timedOut {
+		t.Fatal("ping to a crashed node did not time out")
+	}
+	if rt.Metrics.MsgsDead != 1 {
+		t.Fatalf("metrics %+v", rt.Metrics)
+	}
+
+	// Restart: the node answers again with handlers intact.
+	b.Restart()
+	answered := false
+	a.Ping(1, 200*time.Millisecond, false, func(_ float64, ok bool) { answered = ok })
+	kernel.Run()
+	if !answered {
+		t.Fatal("restarted node did not answer")
+	}
+}
+
+func TestLossRateIsHonoured(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 2, 0.3)
+	a := rt.AddNode(0)
+	rt.AddNode(1)
+	const sends = 4000
+	for i := 0; i < sends; i++ {
+		a.Send(1, "noop", nil)
+	}
+	kernel.Run()
+	frac := float64(rt.Metrics.MsgsLost) / float64(sends)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("loss fraction %v, want ~0.3", frac)
+	}
+}
+
+func TestStopClearsInflight(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 2, 0)
+	a, b := rt.AddNode(0), rt.AddNode(1)
+	// b never answers "mute" requests.
+	b.Handle("mute", func(*Node, Envelope) {})
+	fired := false
+	a.Request(1, "mute", nil, time.Second, func(Envelope) { fired = true }, func() { fired = true })
+	a.Stop()
+	kernel.Run()
+	if fired {
+		t.Fatal("callback fired on a crashed requester")
+	}
+}
+
+func TestMulticastScopesAndCounts(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 5, 0)
+	for i := 0; i < 5; i++ {
+		rt.AddNode(NodeID(i))
+		rt.JoinGroup("g", NodeID(i))
+	}
+	rt.Node(2).Stop() // dead members receive nothing and cost nothing
+	var got []NodeID
+	for i := 1; i < 5; i++ {
+		id := NodeID(i)
+		rt.Node(id).Handle("hello", func(n *Node, env Envelope) { got = append(got, n.ID) })
+	}
+	// Radius 25 ms from node 0 covers nodes 1 and 2 (10, 20 ms); 2 is dead.
+	sent := rt.Multicast(0, "g", "hello", nil, 25)
+	kernel.Run()
+	if sent != 1 {
+		t.Fatalf("sent %d copies, want 1", sent)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("delivered to %v, want [1]", got)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Metrics {
+		kernel, rt := newTestRuntime(t, 8, 0.2)
+		for i := 0; i < 8; i++ {
+			rt.AddNode(NodeID(i))
+		}
+		for i := 1; i < 8; i++ {
+			rt.Node(0).Ping(NodeID(i), 300*time.Millisecond, false, func(float64, bool) {})
+		}
+		kernel.Run()
+		return rt.Metrics
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSelfRequestReachesHandler(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 2, 0)
+	a := rt.AddNode(0)
+	handled := false
+	a.Handle("echo", func(n *Node, env Envelope) {
+		handled = true
+		n.Reply(env, "echo_ok", env.Payload)
+	})
+	var got any
+	a.Request(0, "echo", "self", 0, func(env Envelope) { got = env.Payload },
+		func() { t.Error("self-request timed out") })
+	kernel.Run()
+	if !handled {
+		t.Fatal("self-addressed request never reached the handler")
+	}
+	if got != "self" {
+		t.Fatalf("reply payload = %v", got)
+	}
+}

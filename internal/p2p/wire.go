@@ -1,0 +1,92 @@
+// Package p2p is a message-level node runtime on the discrete-event kernel:
+// the repository's algorithms, which elsewhere run as synchronous function
+// calls against a probe-counting latency matrix, here run as protocols —
+// typed wire envelopes between per-node inboxes, request/response
+// correlation through an inflight map, per-RPC timeouts, configurable
+// packet loss, and a churn generator that drives membership over virtual
+// time. The point is to re-measure the paper's cost claims under the
+// dynamics real p2p systems have: under the clustering condition a search
+// already degenerates into brute-force probing, and loss, timeouts and
+// churn only raise the price of every probe.
+//
+// The runtime is deliberately single-goroutine: all sends, deliveries,
+// timeouts and handler executions are events on one sim.Sim kernel, so a
+// fixed seed replays the exact event order (and `go test -race` has nothing
+// to find by construction).
+package p2p
+
+import "time"
+
+// NodeID identifies a runtime node. IDs are indices into the underlying
+// latency.Matrix, so any matrix row can be brought up as a node.
+type NodeID int
+
+// Envelope is the wire format every message shares: a type tag, the
+// endpoints, a correlation ID and a protocol-specific payload. MsgID is
+// allocated from a runtime-global counter, so a request's ID can never
+// collide with an ID the receiver itself allocated; Resp marks responses,
+// so a node that requests something of itself still dispatches the request
+// to its handler rather than mistaking it for the reply.
+type Envelope struct {
+	Type    string
+	From    NodeID
+	To      NodeID
+	MsgID   uint64
+	Resp    bool
+	Payload any
+}
+
+// Built-in message types. Protocol packages on top (Meridian, expanding
+// ring) define their own type tags; only ping/pong is wired into every
+// node, because RTT measurement is the primitive all of them share.
+const (
+	MsgPing = "ping"
+	MsgPong = "pong"
+)
+
+// Metrics aggregates runtime-wide cost counters. Probe counters follow the
+// overlay package's methodology: QueryProbes is the cost the paper bounds
+// (RTT measurements issued while answering a query), MaintProbes is
+// overlay construction and repair. Message counters are the wire-level
+// view the static simulator cannot provide.
+type Metrics struct {
+	// MsgsSent counts every envelope handed to the transport.
+	MsgsSent int64
+	// MsgsDelivered counts envelopes that reached a live inbox.
+	MsgsDelivered int64
+	// MsgsLost counts envelopes dropped by the loss model.
+	MsgsLost int64
+	// MsgsDead counts envelopes that arrived at a crashed or absent node.
+	MsgsDead int64
+	// QueryProbes counts query-time RTT measurements (pings) issued.
+	QueryProbes int64
+	// MaintProbes counts maintenance RTT measurements issued.
+	MaintProbes int64
+	// Timeouts counts RPCs that expired without a response.
+	Timeouts int64
+}
+
+// Config parameterises a Runtime.
+type Config struct {
+	// LossProb is the independent drop probability of each one-way
+	// message. 0 reproduces the static simulator's lossless world.
+	LossProb float64
+	// RPCTimeout is the default request expiry used when a caller passes
+	// a non-positive timeout.
+	RPCTimeout time.Duration
+}
+
+// DefaultConfig returns a lossless runtime with a 2 s RPC timeout —
+// generous against the ≤ ~400 ms RTTs the latency models produce, so a
+// timeout always means loss or death, never a slow link.
+func DefaultConfig() Config {
+	return Config{LossProb: 0, RPCTimeout: 2 * time.Second}
+}
+
+// durOf converts float64 milliseconds to a virtual-time duration.
+func durOf(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// msOf converts a virtual-time duration to float64 milliseconds.
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

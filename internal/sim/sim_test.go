@@ -119,3 +119,63 @@ func TestExecutedCounter(t *testing.T) {
 		t.Fatalf("Executed = %d", s.Executed)
 	}
 }
+
+func TestStopMidRunThenResume(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(1*time.Millisecond, func() { got = append(got, 1); s.Stop() })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.Run()
+	if len(got) != 1 {
+		t.Fatalf("first Run executed %v", got)
+	}
+	// A second Run clears the stop flag and drains the remainder in order,
+	// with the clock continuing from where it halted.
+	if end := s.Run(); end != 3*time.Millisecond {
+		t.Fatalf("resumed Run ended at %v", end)
+	}
+	if len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("resume order = %v", got)
+	}
+}
+
+func TestRunUntilEventExactlyAtDeadline(t *testing.T) {
+	s := New()
+	var fired []string
+	s.After(5*time.Millisecond, func() { fired = append(fired, "at") })
+	s.After(5*time.Millisecond+time.Nanosecond, func() { fired = append(fired, "after") })
+	s.RunUntil(5 * time.Millisecond)
+	// The deadline is inclusive: an event at exactly the deadline runs,
+	// one a nanosecond later does not.
+	if len(fired) != 1 || fired[0] != "at" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestAfterZeroFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		s.After(0, func() { got = append(got, i) })
+	}
+	// Zero-delay events scheduled from inside an event keep FIFO order
+	// too: they run after their siblings at the same timestamp.
+	s.After(0, func() { got = append(got, 8) })
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("After(0) FIFO violated: %v", got)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("ran %d events", len(got))
+	}
+}
