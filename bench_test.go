@@ -206,3 +206,21 @@ func BenchmarkAblationRingSize(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkChurnStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ChurnStudy(benchScale(), benchSeed)
+		if i == 0 {
+			report("churn-c1", r.Render())
+		}
+	}
+}
+
+func BenchmarkMitigationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.MitigationStudy(benchScale(), benchSeed)
+		if i == 0 {
+			report("mitigation-c2", r.Render())
+		}
+	}
+}

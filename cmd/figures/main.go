@@ -47,6 +47,7 @@ func main() {
 		{"a5", func() string { return experiments.AblationComposite(scale, *seed).Render() }},
 		{"a6", func() string { return experiments.AblationRingSize(scale, *seed).Render() }},
 		{"c1", func() string { return experiments.ChurnStudy(scale, *seed).Render() }},
+		{"c2", func() string { return experiments.MitigationStudy(scale, *seed).Render() }},
 	}
 
 	if *outDir != "" {

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	algo := flag.String("algo", "meridian",
-		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing")
+		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing; with -runtime also ucl | ipprefix | chord")
 	ens := flag.Int("ens", 125, "end-networks per cluster")
 	peers := flag.Int("peers", 2500, "total peer population")
 	delta := flag.Float64("delta", 0.2, "intra-cluster latency variation δ")
@@ -35,10 +35,33 @@ func main() {
 	ringSize := flag.Int("ring", 16, "Meridian nodes per ring")
 	noise := flag.Float64("noise", 0, "probe jitter fraction (0 = noiseless, as in the paper's simulations)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	runtime := flag.Bool("runtime", false, "run over the internal/p2p message runtime (meridian only)")
+	runtime := flag.Bool("runtime", false, "run over the internal/p2p message runtime (meridian, ucl, ipprefix, chord)")
 	loss := flag.Float64("loss", 0, "one-way packet loss probability (requires -runtime)")
 	churn := flag.Bool("churn", false, "drive membership churn during queries (requires -runtime)")
 	flag.Parse()
+
+	if *runtime {
+		if *loss < 0 || *loss > 1 {
+			fmt.Fprintf(os.Stderr, "-loss %v outside [0,1]\n", *loss)
+			os.Exit(2)
+		}
+		if *noise > 0 {
+			fmt.Fprintln(os.Stderr, "-noise applies to the static probe model; the runtime measures true wire RTTs")
+			os.Exit(2)
+		}
+		switch *algo {
+		case "meridian", "chord":
+			// Both run on the clustered matrix built below.
+		case "ucl", "ipprefix":
+			// The hint schemes run on the measurement topology: dispatch
+			// before the (large, unused here) clustered matrix is built.
+			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed)
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "-runtime supports -algo meridian|ucl|ipprefix|chord (got %q)\n", *algo)
+			os.Exit(2)
+		}
+	}
 
 	cfg := latency.DefaultClusteredConfig()
 	cfg.ENsPerCluster = *ens
@@ -47,17 +70,9 @@ func main() {
 	m, gt := latency.BuildClustered(cfg, *seed)
 
 	if *runtime {
-		if *algo != "meridian" {
-			fmt.Fprintf(os.Stderr, "-runtime supports only -algo meridian (got %q)\n", *algo)
-			os.Exit(2)
-		}
-		if *loss < 0 || *loss > 1 {
-			fmt.Fprintf(os.Stderr, "-loss %v outside [0,1]\n", *loss)
-			os.Exit(2)
-		}
-		if *noise > 0 {
-			fmt.Fprintln(os.Stderr, "-noise applies to the static probe model; the runtime measures true wire RTTs")
-			os.Exit(2)
+		if *algo == "chord" {
+			runWireChord(m, *peers, *queries, *loss, *churn, *seed)
+			return
 		}
 		members, targets := overlay.Split(m.N(), 100, *seed+1)
 		fmt.Printf("algo=meridian/p2p peers=%d ENs/cluster=%d (clusters=%d) δ=%.2f queries=%d β=%.2f ring=%d loss=%.0f%% churn=%v\n",
@@ -144,4 +159,59 @@ func main() {
 	fmt.Printf("P(correct cluster)      = %.3f\n", float64(inCluster)/n)
 	fmt.Printf("mean probes per query   = %.1f\n", float64(probes)/n)
 	fmt.Printf("mean hops per query     = %.1f\n", float64(hops)/n)
+}
+
+// runWireMitigation resolves nearest-peer queries through a Section 5 hint
+// scheme (UCL or IP-prefix) running over the message-level Chord DHT, on
+// the measurement topology (the hint schemes need routers and IP prefixes,
+// which the synthetic clustered matrix does not have).
+func runWireMitigation(scheme string, peers, queries int, loss float64, churn bool, seed int64) {
+	const maxPeers, maxQueries = 600, 300
+	if peers > maxPeers {
+		peers = maxPeers
+	}
+	if queries > maxQueries {
+		queries = maxQueries
+	}
+	env := experiments.SharedEnv(experiments.Quick, seed)
+	peerSet := experiments.MitigationPeers(env, peers)
+	fmt.Printf("algo=%s/p2p peers=%d (measurement topology; -ens/-delta do not apply; capped at %d peers, %d queries) queries=%d loss=%.0f%% churn=%v\n",
+		scheme, len(peerSet), maxPeers, maxQueries, queries, loss*100, churn)
+	row := experiments.RunWireMitigation(env, peerSet, experiments.MitigationOpts{
+		Scheme: scheme, Loss: loss, Churn: churn, Queries: queries, Seed: seed,
+	})
+	fmt.Printf("\nfound any peer          = %.2f\n", row.Found)
+	fmt.Printf("P(peer within 10 ms)    = %.3f (over %d queries with a live near peer)\n", row.PNear, row.NearDenom)
+	fmt.Printf("mean RTT of found peer  = %.1f ms\n", row.MeanFoundMs)
+	fmt.Printf("mean probes per query   = %.1f (%d timed out: stale hints or loss)\n", row.MeanProbes, row.DeadProbes)
+	fmt.Printf("mean DHT lookups/query  = %.1f (%.1f routing hops/query, %d lookup failures)\n", row.MeanLookups, row.MeanHops, row.LookupFails)
+	fmt.Printf("mean messages per query = %.1f (maintenance included)\n", row.MeanMsgs)
+	fmt.Printf("publish cost            = %.1f msgs/peer\n", row.PubMsgsPerPeer)
+	fmt.Printf("RPC timeouts            = %d\n", row.Timeouts)
+	if churn {
+		fmt.Printf("churn                   = %d leaves, %d joins\n", row.Leaves, row.Joins)
+	}
+}
+
+// runWireChord exercises the message-level Chord substrate by itself on
+// the clustered matrix: sequential Put+Get pairs from random live nodes.
+func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool, seed int64) {
+	const maxOps = 500
+	if queries > maxOps {
+		queries = maxOps
+	}
+	fmt.Printf("algo=chord/p2p ops=%d (Put+Get pairs; capped at %d) loss=%.0f%% churn=%v\n",
+		queries, maxOps, loss*100, churn)
+	row := experiments.RunWireChord(m, experiments.WireChordOpts{
+		Nodes: peers, Ops: queries, Loss: loss, Churn: churn, Seed: seed,
+	})
+	fmt.Printf("\nring size               = %d nodes\n", row.Nodes)
+	fmt.Printf("put acknowledged        = %.3f\n", row.PutOK)
+	fmt.Printf("get returned the value  = %.3f\n", row.GetOK)
+	fmt.Printf("mean routing hops/op    = %.1f (%.1f re-routed after timeout)\n", row.MeanHops, row.MeanRetries)
+	fmt.Printf("mean messages per op    = %.1f (maintenance included)\n", row.MeanMsgs)
+	fmt.Printf("RPC timeouts            = %d, lookup failures = %d\n", row.Timeouts, row.LookupFails)
+	if churn {
+		fmt.Printf("churn                   = %d leaves, %d joins\n", row.Leaves, row.Joins)
+	}
 }

@@ -99,9 +99,11 @@ func (r *Ring) rebuildFingers() {
 	}
 }
 
-// inOpenInterval reports whether x lies in the open ring interval (a, b).
-// When a == b the interval is the whole ring minus a (Chord's convention).
-func inOpenInterval(x, a, b uint64) bool {
+// Between reports whether x lies in the open ring interval (a, b). When
+// a == b the interval is the whole ring minus a (Chord's convention). It is
+// exported because the message-level Chord protocol (internal/p2p) routes
+// with the same ring arithmetic.
+func Between(x, a, b uint64) bool {
 	switch {
 	case a < b:
 		return x > a && x < b
@@ -111,6 +113,15 @@ func inOpenInterval(x, a, b uint64) bool {
 		return x != a
 	}
 }
+
+// BetweenRightIncl reports whether x lies in the half-open ring interval
+// (a, b] — the ownership test: the successor of a key k is the first node n
+// with k ∈ (pred(n), n].
+func BetweenRightIncl(x, a, b uint64) bool { return x == b || Between(x, a, b) }
+
+// RingDist returns the clockwise distance from a to b on the ring —
+// how far a lookup at a still has to travel to reach b.
+func RingDist(a, b uint64) uint64 { return b - a } // wrapping subtraction is ring arithmetic
 
 // lookup routes iteratively from a starting node to the key's successor,
 // returning the owner and the number of routing hops.
@@ -125,7 +136,7 @@ func (r *Ring) lookup(from uint64, key uint64) (uint64, int) {
 		next := cur
 		for i := 63; i >= 0; i-- {
 			f := n.finger[i]
-			if f != cur && inOpenInterval(f, cur, key) {
+			if f != cur && Between(f, cur, key) {
 				next = f
 				break
 			}

@@ -207,3 +207,73 @@ func TestChurnStudy(t *testing.T) {
 		}
 	}
 }
+
+func TestMitigationWireMatchesStaticLossless(t *testing.T) {
+	env := SharedEnv(Quick, 1)
+	peers := MitigationPeers(env, 80)
+	static := RunStaticMitigation(env, "ipprefix", peers, 20, 1)
+	wire := RunWireMitigation(env, peers, MitigationOpts{Scheme: "ipprefix", Queries: 20, Seed: 1})
+	if wire.Timeouts != 0 || wire.LookupFails != 0 || wire.DeadProbes != 0 {
+		t.Fatalf("lossless wire run shows wire failures: %+v", wire)
+	}
+	// The wire runs the same hint scheme over the same entries: success
+	// must land beside the static baseline (probe noise can flip a
+	// borderline candidate, so allow a small gap).
+	if diff := wire.Found - static.Found; diff < -0.15 || diff > 0.15 {
+		t.Fatalf("wire found %v vs static %v", wire.Found, static.Found)
+	}
+	if wire.MeanMsgs <= 0 || wire.PubMsgsPerPeer <= 0 {
+		t.Fatalf("wire run priced no messages: %+v", wire)
+	}
+	if static.MeanMsgs != 0 || static.PubMsgsPerPeer != 0 {
+		t.Fatalf("static baseline has wire costs: %+v", static)
+	}
+}
+
+func TestMitigationWireUnderLossAndChurn(t *testing.T) {
+	env := SharedEnv(Quick, 1)
+	peers := MitigationPeers(env, 80)
+	row := RunWireMitigation(env, peers, MitigationOpts{Scheme: "ucl", Loss: 0.05, Churn: true, Queries: 15, Seed: 1})
+	if row.Leaves == 0 || row.Joins == 0 {
+		t.Fatalf("churn condition saw no churn: %+v", row)
+	}
+	if row.Timeouts == 0 {
+		t.Fatalf("5%% loss run recorded no timeouts: %+v", row)
+	}
+}
+
+func TestWireChordExercise(t *testing.T) {
+	cfg := latency.DefaultClusteredConfig()
+	cfg.TotalPeers = 120
+	m, _ := latency.BuildClustered(cfg, 1)
+	row := RunWireChord(m, WireChordOpts{Nodes: 100, Ops: 20, Seed: 1})
+	if row.PutOK != 1 || row.GetOK != 1 {
+		t.Fatalf("lossless chord ops failed: %+v", row)
+	}
+	if row.MeanHops <= 0 || row.MeanMsgs <= 0 {
+		t.Fatalf("chord ops priced nothing: %+v", row)
+	}
+	churned := RunWireChord(m, WireChordOpts{Nodes: 100, Ops: 20, Loss: 0.05, Churn: true, Seed: 1})
+	if churned.Leaves == 0 || churned.Timeouts == 0 {
+		t.Fatalf("churned chord run shows no wire effects: %+v", churned)
+	}
+	if churned.GetOK < 0.5 {
+		t.Fatalf("chord collapsed under mild churn: %+v", churned)
+	}
+}
+
+func TestMitigationStudyRender(t *testing.T) {
+	r := &MitigationStudyResult{
+		Peers: 10, Queries: 5, ThresholdMs: 10,
+		Rows: []MitigationRow{
+			{Name: "ucl static (function calls)", Found: 1, PNear: 0.5},
+			{Name: "ucl messages, loss=5% + churn", Found: 0.5, MeanMsgs: 12, Timeouts: 3, Leaves: 2, Joins: 1},
+		},
+	}
+	out := r.Render()
+	for _, want := range []string{"loss=5%", "p(near)", "msgs/q", "leaves"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

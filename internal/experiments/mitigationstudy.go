@@ -1,0 +1,489 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nearestpeer/internal/ipprefix"
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/p2p"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+	"nearestpeer/internal/ucl"
+)
+
+// This file re-measures the Section 5 mitigation claims with the network in
+// the way: the UCL and IP-prefix hint schemes, which elsewhere run as
+// synchronous function calls against a dht.Ring, here publish and resolve
+// their hints over the message-level Chord DHT (internal/p2p) — iterative
+// lookups with per-hop timeouts, loss, churn, stale hints whose publishers
+// have gone dark, and probe costs paid on the wire. The static deployments
+// on the same topology and peer set are the baseline, so every figure is
+// "what does the wire charge for the same mitigation?".
+
+// mitigationNearMs is the success threshold: a query succeeds when the
+// returned peer's true RTT is under this bound (the Section 5 close-peer
+// threshold used by Figures 10 and 11).
+const mitigationNearMs = 10.0
+
+// The wire studies (this file and wirechord.go) share their bring-up and
+// pacing knobs so the c2 rows and the npsim chord exercise stay
+// comparable: joins staggered below the stabilize rate, a settle window
+// before traffic, and a per-operation deadline that keeps the sequential
+// driver going when an issuing node churns out mid-operation.
+const (
+	chordJoinSpacing = 10 * time.Millisecond
+	chordSettle      = 20 * time.Second
+	wireOpDeadline   = time.Minute
+)
+
+// chordJoinRamp schedules the staggered joins and returns the virtual time
+// of the last one.
+func chordJoinRamp(kernel *sim.Sim, chord *p2p.Chord, ids []p2p.NodeID) time.Duration {
+	for i := range ids {
+		id := ids[i]
+		kernel.After(time.Duration(i)*chordJoinSpacing, func() { chord.Join(id) })
+	}
+	return time.Duration(len(ids)) * chordJoinSpacing
+}
+
+// sequenceOps is the shared sequential-operation driver of the wire
+// studies: each op is issued with its 1-based index, given wireOpDeadline
+// to complete (an issuing node that churns out mid-operation takes its
+// callbacks with it — the deadline keeps the stream going and the op
+// scores as failed), and the next op starts 100 ms after completion. live
+// reports whether the op is still current (for intermediate accounting);
+// complete(apply) runs apply and advances iff the deadline has not fired.
+// Call the returned start function when the measurement phase begins; the
+// kernel stops after the last op. issued counts ops actually started,
+// which is what results must be normalised by when a watchdog cuts the
+// run short.
+func sequenceOps(kernel *sim.Sim, count int, issue func(op int, live func() bool, complete func(apply func()))) (start func(), issued *int) {
+	issued = new(int)
+	var step func()
+	step = func() {
+		if *issued >= count {
+			kernel.Stop()
+			return
+		}
+		*issued++
+		op := *issued
+		fired := false
+		advance := func() { kernel.After(100*time.Millisecond, step) }
+		kernel.After(wireOpDeadline, func() {
+			if !fired {
+				fired = true
+				advance()
+			}
+		})
+		issue(op, func() bool { return !fired }, func(apply func()) {
+			if fired {
+				return
+			}
+			fired = true
+			if apply != nil {
+				apply()
+			}
+			advance()
+		})
+	}
+	return step, issued
+}
+
+// MitigationOpts configures one wire mitigation run.
+type MitigationOpts struct {
+	// Scheme is "ucl" or "ipprefix".
+	Scheme string
+	// Loss is the one-way packet loss probability.
+	Loss float64
+	// Churn enables the membership process (with ChurnCfg, or the
+	// experiment default when zero).
+	Churn    bool
+	ChurnCfg p2p.ChurnConfig
+	// Queries is the number of sequential nearest-peer queries.
+	Queries int
+	// Seed drives the whole run.
+	Seed int64
+	// Horizon caps virtual time as a watchdog (default 2 h).
+	Horizon time.Duration
+}
+
+// MitigationRow is one condition's scores, static or message-level.
+type MitigationRow struct {
+	Name string
+	// Found is the fraction of queries returning any peer.
+	Found float64
+	// PNear is the fraction of queries returning a peer whose true RTT is
+	// under the threshold, among the NearDenom queries where a live such
+	// peer existed at issue time.
+	PNear     float64
+	NearDenom int
+	// MeanFoundMs is the mean true RTT of returned peers.
+	MeanFoundMs float64
+	// MeanProbes is candidate probes per query; DeadProbes counts the ones
+	// that timed out (stale hints, loss) across the run.
+	MeanProbes float64
+	DeadProbes int64
+	// MeanLookups and MeanHops price the DHT: lookups per query and
+	// routing hops per query (static: ring hops; wire: routing RPCs).
+	MeanLookups float64
+	MeanHops    float64
+	// LookupFails counts wire lookups that never resolved an owner.
+	LookupFails int64
+	// PubMsgsPerPeer is the wire cost of publishing one peer's hints
+	// (maintenance traffic during the publish phase included); MeanMsgs is
+	// wire messages per query, maintenance included. Static rows have no
+	// wire: both are 0.
+	PubMsgsPerPeer float64
+	MeanMsgs       float64
+	// Timeouts is the total RPC timeouts across the run.
+	Timeouts int64
+	// Leaves and Joins count churn events during the run.
+	Leaves, Joins int
+}
+
+// MitigationPeers picks the study's peer population: the first n responsive
+// peers of the environment (deterministic, so static and wire runs see the
+// same membership).
+func MitigationPeers(env *Env, n int) []netmodel.HostID {
+	peers := env.ResponsivePeers()
+	if len(peers) > n {
+		peers = peers[:n]
+	}
+	return peers
+}
+
+// mitigationParams returns (peers, queries) per scale.
+func mitigationParams(s Scale) (peers, queries int) {
+	if s == Full {
+		return 2000, 400
+	}
+	return 240, 60
+}
+
+// RunStaticMitigation runs the function-call baseline for a scheme on the
+// environment's topology: one probe-counting query per target, scored
+// against the true nearest peer.
+func RunStaticMitigation(env *Env, scheme string, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	addrs := make([]string, len(peers))
+	for i, p := range peers {
+		addrs[i] = env.Top.Host(p).IP.String()
+	}
+	row := MitigationRow{Found: 0}
+	var find func(p netmodel.HostID) (found bool, peer netmodel.HostID, probes, lookups int)
+	var hops func() int64
+	switch scheme {
+	case "ucl":
+		sys := ucl.New(env.Tools, addrs, env.VantageHosts(), ucl.DefaultConfig())
+		for _, p := range peers {
+			sys.Join(p)
+		}
+		find = func(p netmodel.HostID) (bool, netmodel.HostID, int, int) {
+			r := sys.FindNearest(p)
+			return r.Peer >= 0, r.Peer, r.Probes, r.Lookups
+		}
+		hops = func() int64 { return sys.Ring().Hops }
+	case "ipprefix":
+		sys := ipprefix.New(env.Tools, addrs, ipprefix.DefaultConfig())
+		for _, p := range peers {
+			sys.Join(p)
+		}
+		find = func(p netmodel.HostID) (bool, netmodel.HostID, int, int) {
+			r := sys.FindNearest(p)
+			return r.Peer >= 0, r.Peer, r.Probes, r.Lookups
+		}
+		hops = func() int64 { return sys.Ring().Hops }
+	default:
+		panic(fmt.Sprintf("experiments: unknown mitigation scheme %q", scheme))
+	}
+
+	src := rng.New(seed + 3)
+	hopsAtStart := hops()
+	found, near, nearDenom := 0, 0, 0
+	var probes, lookups int64
+	var foundMs float64
+	alive := func(netmodel.HostID) bool { return true }
+	for q := 0; q < queries; q++ {
+		target := peers[src.Intn(len(peers))]
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		ok, peer, p, l := find(target)
+		probes += int64(p)
+		lookups += int64(l)
+		if ok {
+			found++
+			trueMs := env.Top.RTTms(target, peer)
+			foundMs += trueMs
+			if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+				near++
+			}
+		}
+	}
+	n := float64(queries)
+	row.Name = scheme + " static (function calls)"
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(probes) / n
+	row.MeanLookups = float64(lookups) / n
+	row.MeanHops = float64(hops()-hopsAtStart) / n
+	return row
+}
+
+// nearestLivePeerMs returns the true RTT to the nearest live peer other
+// than target (the oracle a query is scored against).
+func nearestLivePeerMs(env *Env, peers []netmodel.HostID, target netmodel.HostID, alive func(netmodel.HostID) bool) float64 {
+	best := -1.0
+	for _, p := range peers {
+		if p == target || !alive(p) {
+			continue
+		}
+		if d := env.Top.RTTms(target, p); best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return mitigationNearMs + 1 // nobody live: no near peer exists
+	}
+	return best
+}
+
+// RunWireMitigation stands the scheme up over the message runtime: a Chord
+// ring of all peers, hint publishing as wire Puts, then sequential queries
+// in virtual time — under the asked-for loss and churn. Peers that churn
+// back in republish their hints (soft state); hints of departed peers stay
+// behind and cost dead probes.
+func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 2 * time.Hour
+	}
+	kernel := sim.New()
+	rt := p2p.New(kernel, &latency.TopologyMatrix{Top: env.Top, Hosts: peers}, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	ccfg := p2p.DefaultChordConfig()
+	ccfg.Horizon = opts.Horizon
+	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)
+
+	// Scheme adapters: publish one peer's hints; run one query.
+	type findScore struct {
+		found                              bool
+		peer                               netmodel.HostID
+		probes, dead, lookups, hops, fails int
+	}
+	var publish func(h netmodel.HostID, done func())
+	var find func(h netmodel.HostID, done func(findScore))
+	switch opts.Scheme {
+	case "ucl":
+		w := ucl.NewWire(env.Tools, chord, peers, env.VantageHosts(), ucl.DefaultConfig())
+		publish = func(h netmodel.HostID, done func()) {
+			w.Publish(h, func(int) {
+				if done != nil {
+					done()
+				}
+			})
+		}
+		find = func(h netmodel.HostID, done func(findScore)) {
+			w.FindNearest(h, func(r ucl.WireResult) {
+				done(findScore{r.Found, r.Peer, r.Probes, r.DeadProbes, r.Lookups, r.Hops, r.LookupFails})
+			})
+		}
+	case "ipprefix":
+		w := ipprefix.NewWire(env.Tools, chord, peers, ipprefix.DefaultConfig())
+		publish = func(h netmodel.HostID, done func()) {
+			w.Publish(h, func(bool) {
+				if done != nil {
+					done()
+				}
+			})
+		}
+		find = func(h netmodel.HostID, done func(findScore)) {
+			w.FindNearest(h, func(r ipprefix.WireResult) {
+				done(findScore{r.Found, r.Peer, r.Probes, r.DeadProbes, r.Lookups, r.Hops, r.LookupFails})
+			})
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown mitigation scheme %q", opts.Scheme))
+	}
+
+	index := make(map[netmodel.HostID]p2p.NodeID, len(peers))
+	ids := make([]p2p.NodeID, len(peers))
+	for i, h := range peers {
+		index[h] = p2p.NodeID(i)
+		ids[i] = p2p.NodeID(i)
+	}
+	joinEnd := chordJoinRamp(kernel, chord, ids)
+
+	var churn *p2p.Churn
+	if opts.Churn {
+		ccfg := opts.ChurnCfg
+		if ccfg.MeanSession == 0 {
+			ccfg = experimentChurnConfig()
+		}
+		ccfg.Horizon = opts.Horizon
+		churn = p2p.NewChurn(rt, ccfg, opts.Seed+2)
+		churn.OnLeave = func(id p2p.NodeID, graceful bool) { chord.Leave(id, graceful) }
+		churn.OnJoin = func(id p2p.NodeID) {
+			chord.Join(id)
+			publish(peers[int(id)], nil) // soft state: republish on rejoin
+		}
+	}
+
+	row := MitigationRow{}
+	src := rng.New(opts.Seed + 3)
+	alive := func(h netmodel.HostID) bool { return rt.Alive(index[h]) }
+	var pubMsgsStart, queryMsgsStart int64
+	found, near, nearDenom := 0, 0, 0
+	var probes, dead, lookups, hops, fails int64
+	var foundMs float64
+
+	startSeq, issued := sequenceOps(kernel, opts.Queries, func(_ int, _ func() bool, complete func(apply func())) {
+		target := peers[src.Intn(len(peers))]
+		for tries := 0; tries < 20 && !alive(target); tries++ {
+			target = peers[src.Intn(len(peers))]
+		}
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		find(target, func(r findScore) {
+			complete(func() {
+				probes += int64(r.probes)
+				dead += int64(r.dead)
+				lookups += int64(r.lookups)
+				hops += int64(r.hops)
+				fails += int64(r.fails)
+				if r.found {
+					found++
+					trueMs := env.Top.RTTms(target, r.peer)
+					foundMs += trueMs
+					if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+						near++
+					}
+				}
+			})
+		})
+	})
+
+	startQueries := func() {
+		queryMsgsStart = rt.Metrics.MsgsSent
+		startSeq()
+	}
+	afterPublish := func() {
+		row.PubMsgsPerPeer = float64(rt.Metrics.MsgsSent-pubMsgsStart) / float64(len(peers))
+		if churn != nil {
+			churn.Drive(ids)
+			// Let the membership process bite before measuring queries.
+			kernel.After(30*time.Second, startQueries)
+			return
+		}
+		startQueries()
+	}
+	kernel.At(joinEnd+chordSettle, func() {
+		pubMsgsStart = rt.Metrics.MsgsSent
+		var pub func(i int)
+		pub = func(i int) {
+			if i >= len(peers) {
+				afterPublish()
+				return
+			}
+			publish(peers[i], func() { pub(i + 1) })
+		}
+		pub(0)
+	})
+	kernel.At(opts.Horizon, kernel.Stop) // watchdog against a stalled chain
+	kernel.Run()
+
+	// Normalise by the queries actually issued: if the watchdog fired
+	// first, the unissued remainder must not be scored as failures.
+	n := float64(*issued)
+	if *issued == 0 {
+		n = 1
+	}
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(probes) / n
+	row.DeadProbes = dead
+	row.MeanLookups = float64(lookups) / n
+	row.MeanHops = float64(hops) / n
+	row.LookupFails = fails
+	row.MeanMsgs = float64(rt.Metrics.MsgsSent-queryMsgsStart) / n
+	row.Timeouts = rt.Metrics.Timeouts
+	if churn != nil {
+		row.Leaves, row.Joins = churn.Leaves, churn.Joins
+	}
+	return row
+}
+
+// MitigationStudyResult compares static and message-level hint schemes
+// across wire conditions.
+type MitigationStudyResult struct {
+	Peers, Queries int
+	ThresholdMs    float64
+	Rows           []MitigationRow
+}
+
+// MitigationStudy runs the comparison for both hint schemes on the shared
+// environment's topology.
+func MitigationStudy(scale Scale, seed int64) *MitigationStudyResult {
+	env := SharedEnv(scale, seed)
+	nPeers, queries := mitigationParams(scale)
+	peers := MitigationPeers(env, nPeers)
+	out := &MitigationStudyResult{Peers: len(peers), Queries: queries, ThresholdMs: mitigationNearMs}
+	for _, scheme := range []string{"ucl", "ipprefix"} {
+		out.Rows = append(out.Rows, RunStaticMitigation(env, scheme, peers, queries, seed))
+		for _, c := range []struct {
+			name  string
+			loss  float64
+			churn bool
+		}{
+			{"messages, loss=0%", 0, false},
+			{"messages, loss=5%", 0.05, false},
+			{"messages, churn", 0, true},
+			{"messages, loss=5% + churn", 0.05, true},
+		} {
+			row := RunWireMitigation(env, peers, MitigationOpts{
+				Scheme: scheme, Loss: c.loss, Churn: c.churn, Queries: queries, Seed: seed,
+			})
+			row.Name = scheme + " " + c.name
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Render prints the comparison table.
+func (r *MitigationStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mitigation study: Section 5 hint schemes over the message-level DHT (internal/p2p)\n")
+	fmt.Fprintf(&b, "%d peers on the measurement topology, %d queries, near threshold %.0f ms\n\n",
+		r.Peers, r.Queries, r.ThresholdMs)
+	fmt.Fprintf(&b, "%-36s %6s %8s %8s %9s %10s %8s %10s %9s\n",
+		"condition", "found", "p(near)", "rtt(ms)", "probes/q", "lookups/q", "msgs/q", "pub-m/peer", "timeouts")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-36s %6.2f %8.3f %8.1f %9.1f %10.1f %8.1f %10.1f %9d",
+			row.Name, row.Found, row.PNear, row.MeanFoundMs,
+			row.MeanProbes, row.MeanLookups, row.MeanMsgs, row.PubMsgsPerPeer, row.Timeouts)
+		if row.Leaves > 0 || row.Joins > 0 {
+			fmt.Fprintf(&b, "  (%d leaves, %d joins)", row.Leaves, row.Joins)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nreading: in a lossless static world the hint schemes are cheap; the wire adds\n" +
+		"DHT routing per publish and per query, loss turns hops into timeouts, and churn\n" +
+		"leaves stale hints behind that cost dead probes before a live candidate answers\n")
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/p2p"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+)
+
+// This file exercises the message-level Chord DHT by itself (no hint
+// scheme on top): stand a ring up over a latency matrix, run sequential
+// Put+Get pairs, and price the routing — the npsim `-runtime -algo chord`
+// view of the substrate the Section 5 mitigations stand on.
+
+// WireChordOpts configures one Chord exercise run.
+type WireChordOpts struct {
+	// Nodes caps the ring size (min with the matrix population).
+	Nodes int
+	// Ops is the number of sequential Put+Get pairs.
+	Ops int
+	// Loss is the one-way packet loss probability.
+	Loss float64
+	// Churn enables the membership process.
+	Churn    bool
+	ChurnCfg p2p.ChurnConfig
+	// Seed drives the whole run.
+	Seed int64
+	// Horizon caps virtual time as a watchdog (default 2 h).
+	Horizon time.Duration
+}
+
+// WireChordRow reports the run.
+type WireChordRow struct {
+	Nodes, Ops int
+	// PutOK and GetOK are the fractions of operations that were
+	// acknowledged / returned the value just written.
+	PutOK, GetOK float64
+	// MeanHops and MeanRetries are routing RPCs and re-routed hops per
+	// operation (lookup plus store/fetch fallbacks).
+	MeanHops, MeanRetries float64
+	// MeanMsgs is wire messages per operation, maintenance included.
+	MeanMsgs float64
+	// Timeouts and LookupFails total over the run.
+	Timeouts    int64
+	LookupFails int64
+	// Leaves and Joins count churn events.
+	Leaves, Joins int
+}
+
+// RunWireChord joins nodes into a ring over the matrix, lets it converge,
+// then drives sequential Put+Get pairs (each from a random live node)
+// under the asked-for loss and churn.
+func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 2 * time.Hour
+	}
+	n := opts.Nodes
+	if n <= 0 || n > m.N() {
+		n = m.N()
+	}
+	kernel := sim.New()
+	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	ccfg := p2p.DefaultChordConfig()
+	ccfg.Horizon = opts.Horizon
+	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)
+	ids := make([]p2p.NodeID, n)
+	for i := range ids {
+		ids[i] = p2p.NodeID(i)
+	}
+	joinEnd := chordJoinRamp(kernel, chord, ids)
+
+	var churn *p2p.Churn
+	if opts.Churn {
+		cc := opts.ChurnCfg
+		if cc.MeanSession == 0 {
+			cc = experimentChurnConfig()
+		}
+		cc.Horizon = opts.Horizon
+		churn = p2p.NewChurn(rt, cc, opts.Seed+2)
+		churn.OnLeave = func(id p2p.NodeID, graceful bool) { chord.Leave(id, graceful) }
+		churn.OnJoin = func(id p2p.NodeID) { chord.Join(id) }
+	}
+
+	row := WireChordRow{Nodes: n}
+	src := rng.New(opts.Seed + 3)
+	putOK, getOK := 0, 0
+	var hops, retries int64
+	var msgsStart int64
+	liveNode := func() p2p.NodeID {
+		id := ids[src.Intn(len(ids))]
+		for tries := 0; tries < 20 && !rt.Alive(id); tries++ {
+			id = ids[src.Intn(len(ids))]
+		}
+		return id
+	}
+	startSeq, issued := sequenceOps(kernel, opts.Ops, func(op int, live func() bool, complete func(apply func())) {
+		key := fmt.Sprintf("bench/%d", op)
+		val := []byte(key)
+		chord.Put(liveNode(), key, val, func(pr p2p.OpResult) {
+			if !live() {
+				return
+			}
+			hops += int64(pr.Hops)
+			retries += int64(pr.Retries)
+			row.LookupFails += int64(pr.LookupFails)
+			if pr.OK {
+				putOK++
+			}
+			chord.Get(liveNode(), key, func(gr p2p.OpResult) {
+				complete(func() {
+					hops += int64(gr.Hops)
+					retries += int64(gr.Retries)
+					row.LookupFails += int64(gr.LookupFails)
+					if gr.OK {
+						for _, v := range gr.Vals {
+							if string(v) == key {
+								getOK++
+								break
+							}
+						}
+					}
+				})
+			})
+		})
+	})
+	kernel.At(joinEnd+chordSettle, func() {
+		if churn != nil {
+			churn.Drive(ids)
+		}
+		msgsStart = rt.Metrics.MsgsSent
+		startSeq()
+	})
+	kernel.At(opts.Horizon, kernel.Stop)
+	kernel.Run()
+
+	nOps := float64(*issued)
+	if *issued == 0 {
+		nOps = 1
+	}
+	row.Ops = *issued
+	row.PutOK = float64(putOK) / nOps
+	row.GetOK = float64(getOK) / nOps
+	row.MeanHops = float64(hops) / nOps
+	row.MeanRetries = float64(retries) / nOps
+	row.MeanMsgs = float64(rt.Metrics.MsgsSent-msgsStart) / nOps
+	row.Timeouts = rt.Metrics.Timeouts
+	if churn != nil {
+		row.Leaves, row.Joins = churn.Leaves, churn.Joins
+	}
+	return row
+}

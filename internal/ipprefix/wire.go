@@ -1,0 +1,120 @@
+// Wire deployment of the IP-prefix mitigation: the same prefix-bucket
+// hint scheme as System, but publishing and lookup run as wire operations
+// against the message-level Chord DHT (internal/p2p), and candidate
+// probing is pings over the runtime — the scheme's Figure 11
+// false-positive cost now additionally pays per-probe timeouts for stale
+// entries whose publisher churned out.
+
+package ipprefix
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/p2p"
+)
+
+// Wire is a deployed message-level IP-prefix service. hosts fixes the
+// HostID ↔ runtime NodeID mapping: node i of the runtime's latency matrix
+// is hosts[i].
+type Wire struct {
+	cfg   Config
+	tools *measure.Tools
+	chord *p2p.Chord
+	hosts []netmodel.HostID
+	index map[netmodel.HostID]p2p.NodeID
+	// PingTimeout bounds each candidate probe; 0 uses the runtime default.
+	PingTimeout time.Duration
+}
+
+// NewWire creates the wire deployment over an existing Chord instance.
+func NewWire(tools *measure.Tools, chord *p2p.Chord, hosts []netmodel.HostID, cfg Config) *Wire {
+	index := make(map[netmodel.HostID]p2p.NodeID, len(hosts))
+	for i, h := range hosts {
+		index[h] = p2p.NodeID(i)
+	}
+	return &Wire{cfg: cfg, tools: tools, chord: chord, hosts: hosts, index: index}
+}
+
+// NodeOf maps a host to its runtime node id.
+func (w *Wire) NodeOf(peer netmodel.HostID) p2p.NodeID { return w.index[peer] }
+
+// Publish stores the peer under its prefix key as a wire Put. done
+// receives whether the store was acknowledged.
+func (w *Wire) Publish(peer netmodel.HostID, done func(ok bool)) {
+	ip := w.tools.Top.Host(peer).IP
+	w.chord.Put(w.NodeOf(peer), prefixKey(ip, w.cfg.PrefixBits), encodePeer(peer), func(r p2p.OpResult) {
+		if done != nil {
+			done(r.OK)
+		}
+	})
+}
+
+// WireResult reports a message-level prefix query's outcome and cost.
+type WireResult struct {
+	Peer       netmodel.HostID
+	RTTms      float64
+	Candidates int
+	// Probes counts candidate pings issued; DeadProbes those that timed
+	// out (stale hints or probe loss).
+	Probes     int
+	DeadProbes int
+	// Lookups counts DHT Gets; LookupFails those that failed; Hops and
+	// Retries aggregate their routing cost.
+	Lookups     int
+	LookupFails int
+	Hops        int
+	Retries     int
+	Found       bool
+}
+
+// FindNearest retrieves the querier's prefix bucket over the wire and
+// probes it, closest candidate id first (the static scheme's order). done
+// fires exactly once (the issuing node is assumed to stay up).
+func (w *Wire) FindNearest(peer netmodel.HostID, done func(WireResult)) {
+	ip := w.tools.Top.Host(peer).IP
+	node := w.NodeOf(peer)
+	res := WireResult{Peer: -1, Lookups: 1}
+	w.chord.Get(node, prefixKey(ip, w.cfg.PrefixBits), func(r p2p.OpResult) {
+		res.Hops += r.Hops
+		res.Retries += r.Retries
+		res.LookupFails += r.LookupFails
+		seen := make(map[netmodel.HostID]bool)
+		var cands []netmodel.HostID
+		if r.OK {
+			for _, v := range r.Vals {
+				if len(v) != 4 {
+					continue
+				}
+				p := netmodel.HostID(binary.BigEndian.Uint32(v))
+				if p == peer || seen[p] {
+					continue // republished duplicates collapse to one candidate
+				}
+				if _, known := w.index[p]; !known {
+					continue
+				}
+				seen[p] = true
+				cands = append(cands, p)
+			}
+		}
+		res.Candidates = len(cands)
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		if w.cfg.MaxProbes > 0 && len(cands) > w.cfg.MaxProbes {
+			cands = cands[:w.cfg.MaxProbes]
+		}
+		ids := make([]p2p.NodeID, len(cands))
+		for i, c := range cands {
+			ids[i] = w.index[c]
+		}
+		w.chord.Runtime().Node(node).SweepPing(ids, w.PingTimeout, func(s p2p.PingSweep) {
+			res.Probes, res.DeadProbes, res.Found = s.Probes, s.Dead, s.Found
+			if s.Found {
+				res.Peer, res.RTTms = w.hosts[int(s.Best)], s.BestRTT
+			}
+			done(res)
+		})
+	})
+}

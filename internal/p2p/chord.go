@@ -1,0 +1,1040 @@
+package p2p
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nearestpeer/internal/dht"
+	"nearestpeer/internal/rng"
+)
+
+// This file ports the Chord DHT (internal/dht) from a synchronous ring over
+// a node map to a protocol over messages: the key-value substrate the
+// paper's Section 5 hint mitigations (UCLs, IP-prefix publishing) assume
+// the peers can host themselves. The structure is the same — a 64-bit
+// identifier ring (reusing internal/dht's hashing and interval arithmetic),
+// successor lists, finger-style long-range routing, iterative lookups — but
+// every step is now an RPC with a per-hop timeout that can be lost or land
+// on a crashed node, joins discover their successor by looking their own
+// identifier up over the wire, and the ring is maintained by periodic
+// stabilize/notify rounds instead of a global rebuild. A failed hop retries
+// through the next-best known candidate (alternate fingers, then the
+// successor list), which is what keeps lookups resolving under churn.
+//
+// Knowledge discipline: nodes learn about each other only through
+// messages (lookup replies, state exchanges, notifies). The single
+// out-of-band channel is bootstrap choice — a joining node is handed one
+// random live member to start from, standing in for the rendezvous every
+// deployed DHT needs. Predecessor liveness is inferred from notify
+// freshness, not from global state.
+
+// Chord wire message types.
+const (
+	// MsgChordFind is one iterative routing step: "who owns this key, or
+	// who should I ask next?" MsgChordFindOK carries the answer.
+	MsgChordFind   = "c_find"
+	MsgChordFindOK = "c_find_ok"
+	// MsgChordState asks a node for its predecessor and successor list
+	// (the stabilize exchange); MsgChordStateOK answers.
+	MsgChordState   = "c_state"
+	MsgChordStateOK = "c_state_ok"
+	// MsgChordNotify is a one-way "I believe I am your predecessor".
+	MsgChordNotify = "c_notify"
+	// MsgChordStore stores a value at the receiver, which replicates it to
+	// its successors with one-way MsgChordStoreRep copies and acks with
+	// MsgChordStoreOK.
+	MsgChordStore    = "c_store"
+	MsgChordStoreOK  = "c_store_ok"
+	MsgChordStoreRep = "c_store_rep"
+	// MsgChordFetch retrieves a key's values; MsgChordFetchOK answers.
+	MsgChordFetch   = "c_fetch"
+	MsgChordFetchOK = "c_fetch_ok"
+	// MsgChordHandoff is a graceful leaver's one-way key transfer to its
+	// successor.
+	MsgChordHandoff = "c_handoff"
+	// MsgChordMigrate is a joiner's pull of the keys it now owns from its
+	// successor; MsgChordMigrateOK carries them over.
+	MsgChordMigrate   = "c_migrate"
+	MsgChordMigrateOK = "c_migrate_ok"
+)
+
+// NoNode is the nil NodeID (unknown predecessor, empty finger slot).
+const NoNode NodeID = -1
+
+// ChordConfig parameterises the protocol.
+type ChordConfig struct {
+	// SuccListLen bounds the successor list (Chord's r; resilience to r-1
+	// simultaneous failures).
+	SuccListLen int
+	// StabilizeEvery is the stabilize period; each node adds up to 25%
+	// per-node jitter so rounds do not run in lockstep.
+	StabilizeEvery time.Duration
+	// FingerEvery fixes one finger (a full iterative lookup) every
+	// FingerEvery stabilize rounds; 0 disables active finger repair,
+	// leaving only passive learning from replies.
+	FingerEvery int
+	// Replicas is how many nodes hold each key: the owner plus
+	// Replicas-1 of its successors.
+	Replicas int
+	// RPCTimeout bounds each individual hop/store/fetch RPC.
+	RPCTimeout time.Duration
+	// MaxHops caps one iterative lookup, a routing-loop backstop.
+	MaxHops int
+	// MaxLookupTimeouts fails a lookup after this many hop timeouts:
+	// under churn a frontier full of stale fingers would otherwise burn
+	// MaxHops sequential timeouts before giving up, and a fast failure
+	// (retried by the operation layer, or reported) prices the outage
+	// honestly instead of stalling the caller for a virtual minute.
+	MaxLookupTimeouts int
+	// Horizon, when > 0, stops scheduling stabilize rounds past this
+	// virtual time so a test kernel's queue can drain. 0 stabilizes
+	// forever — drive the kernel with RunUntil or Stop in that case.
+	Horizon time.Duration
+}
+
+// DefaultChordConfig returns the protocol defaults.
+func DefaultChordConfig() ChordConfig {
+	return ChordConfig{
+		SuccListLen:       8,
+		StabilizeEvery:    time.Second,
+		FingerEvery:       2,
+		Replicas:          2,
+		RPCTimeout:        500 * time.Millisecond,
+		MaxHops:           64,
+		MaxLookupTimeouts: 6,
+	}
+}
+
+// chordState is one member's protocol state.
+type chordState struct {
+	ringID   uint64
+	succs    []NodeID // clockwise successor list; never contains self
+	pred     NodeID
+	predSeen time.Duration // when pred last notified us
+	fingers  []NodeID      // fingers[i] ≈ successor(ringID + 2^i); NoNode unknown
+	nextFin  int
+	round    int
+	suspect  map[NodeID]int // consecutive RPC timeouts per peer
+	data     map[string][][]byte
+	src      *rng.Source
+}
+
+// Chord runs the protocol over a Runtime.
+type Chord struct {
+	rt     *Runtime
+	cfg    ChordConfig
+	src    *rng.Source
+	states map[NodeID]*chordState
+	order  []NodeID // sorted live member list (bootstrap handout)
+	rings  map[NodeID]uint64
+}
+
+// NewChord creates the protocol instance (with no members yet).
+func NewChord(rt *Runtime, cfg ChordConfig, seed int64) *Chord {
+	if cfg.SuccListLen <= 0 || cfg.StabilizeEvery <= 0 || cfg.Replicas <= 0 || cfg.RPCTimeout <= 0 || cfg.MaxHops <= 0 {
+		panic(fmt.Sprintf("p2p: invalid chord config %+v", cfg))
+	}
+	return &Chord{
+		rt:     rt,
+		cfg:    cfg,
+		src:    rng.New(seed).Split("chord"),
+		states: make(map[NodeID]*chordState),
+		rings:  make(map[NodeID]uint64),
+	}
+}
+
+// Runtime returns the transport the protocol runs on.
+func (c *Chord) Runtime() *Runtime { return c.rt }
+
+// RingIDOf maps a node onto the identifier ring, reusing the DHT package's
+// consistent hashing (cached — the hash is pure).
+func (c *Chord) RingIDOf(id NodeID) uint64 {
+	if v, ok := c.rings[id]; ok {
+		return v
+	}
+	v := dht.HashKey(fmt.Sprintf("chord/%d", int(id)))
+	c.rings[id] = v
+	return v
+}
+
+// NumMembers returns the live member count.
+func (c *Chord) NumMembers() int { return len(c.order) }
+
+// LiveMembers returns the current membership (sorted, a copy).
+func (c *Chord) LiveMembers() []int {
+	out := make([]int, len(c.order))
+	for i, id := range c.order {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// SuccessorOf exposes a member's current successor pointer (tests).
+func (c *Chord) SuccessorOf(id NodeID) (NodeID, bool) {
+	st := c.states[id]
+	if st == nil || len(st.succs) == 0 {
+		return NoNode, false
+	}
+	return st.succs[0], true
+}
+
+// PredecessorOf exposes a member's current predecessor pointer (tests).
+func (c *Chord) PredecessorOf(id NodeID) (NodeID, bool) {
+	st := c.states[id]
+	if st == nil || st.pred == NoNode {
+		return NoNode, false
+	}
+	return st.pred, true
+}
+
+// StoredAt reports how many values a member holds under key (tests).
+func (c *Chord) StoredAt(id NodeID, key string) int {
+	if st := c.states[id]; st != nil {
+		return len(st.data[key])
+	}
+	return 0
+}
+
+// Join brings a node up as a ring member: it installs handlers, enters the
+// membership, and looks its own identifier up through a bootstrap member to
+// find its successor. The ring position is wrong until that lookup lands
+// and stabilize rounds rectify predecessor pointers — a freshly joined
+// node answers queries with whatever it knows so far, as a real node would.
+func (c *Chord) Join(id NodeID) {
+	if _, ok := c.states[id]; ok {
+		return
+	}
+	n := c.rt.AddNode(id)
+	if !n.Alive() {
+		// Join is an explicit protocol (re)entry: a previously stopped
+		// node comes back up. (AddNode itself never resurrects — that is
+		// Restart's job, and doing it implicitly would corrupt the churn
+		// process's bookkeeping.)
+		n.Restart()
+	}
+	st := &chordState{
+		ringID:  c.RingIDOf(id),
+		pred:    NoNode,
+		fingers: make([]NodeID, 64),
+		suspect: make(map[NodeID]int),
+		data:    make(map[string][][]byte),
+		src:     c.src.SplitN("member", int(id)),
+	}
+	for i := range st.fingers {
+		st.fingers[i] = NoNode
+	}
+	boot := c.randomMember(id)
+	c.states[id] = st
+	c.insertMember(id)
+	n.Handle(MsgChordFind, c.handleFind)
+	n.Handle(MsgChordState, c.handleState)
+	n.Handle(MsgChordNotify, c.handleNotify)
+	n.Handle(MsgChordStore, c.handleStore)
+	n.Handle(MsgChordStoreRep, c.handleStoreRep)
+	n.Handle(MsgChordFetch, c.handleFetch)
+	n.Handle(MsgChordHandoff, c.handleHandoff)
+	n.Handle(MsgChordMigrate, c.handleMigrate)
+	if boot != NoNode {
+		c.bootstrap(n, st, boot)
+	}
+	c.scheduleStabilize(id, st)
+}
+
+// Leave takes a member down. A graceful leaver hands its keys to its
+// successor first (the message survives it on the wire); a crash just goes
+// silent and the ring discovers the death by timeout.
+func (c *Chord) Leave(id NodeID, graceful bool) {
+	st := c.states[id]
+	if st == nil {
+		return
+	}
+	n := c.rt.Node(id)
+	if graceful && n != nil && n.Alive() && len(st.succs) > 0 && len(st.data) > 0 {
+		cp := make(map[string][][]byte, len(st.data))
+		for k, vs := range st.data {
+			cvs := make([][]byte, len(vs))
+			for i, v := range vs {
+				cvs[i] = append([]byte(nil), v...)
+			}
+			cp[k] = cvs
+		}
+		n.Send(st.succs[0], MsgChordHandoff, cHandoffMsg{Data: cp})
+	}
+	delete(c.states, id)
+	c.removeMember(id)
+	if n != nil {
+		n.Stop()
+	}
+}
+
+// bootstrap looks the node's own identifier up via boot to find its
+// successor: the join entry step, and — re-run periodically from a random
+// member — the cross-region repair that dissolves wedges the local
+// successor chain cannot see (a region whose pointers skip it never learns
+// about it through stabilize alone). A node with no successor adopts the
+// answer outright; otherwise the answer and its replica set go through
+// learn(), which only ever tightens the pointer. On failure (loss, dead
+// bootstrap) the stabilize loop retries off another member.
+func (c *Chord) bootstrap(n *Node, st *chordState, boot NodeID) {
+	res := &LookupResult{Owner: NoNode}
+	c.drive(n, nil, []NodeID{boot}, st.ringID, res, func(r LookupResult) {
+		if c.states[n.ID] != st {
+			return
+		}
+		if !r.OK || r.Owner == NoNode || r.Owner == n.ID {
+			return
+		}
+		var prevHead NodeID = NoNode
+		if len(st.succs) > 0 {
+			prevHead = st.succs[0]
+		}
+		if prevHead == NoNode {
+			c.adoptSuccessors(st, n.ID, r.Owner, r.Reps)
+		}
+		c.learn(st, r.Owner)
+		for _, s := range r.Reps {
+			c.learn(st, s)
+		}
+		if len(st.succs) == 0 {
+			return
+		}
+		head := st.succs[0]
+		n.Send(head, MsgChordNotify, nil)
+		if head == prevHead {
+			return
+		}
+		// New successor: pull the keys this node now owns from it. A lost
+		// request or reply just leaves them where replica fallback and the
+		// next republish can still find them.
+		n.Request(head, MsgChordMigrate, nil, c.cfg.RPCTimeout,
+			func(env Envelope) {
+				if c.states[n.ID] != st || !n.Alive() {
+					return
+				}
+				mergeValues(st.data, env.Payload.(cHandoffMsg).Data)
+			}, nil)
+	})
+}
+
+// adoptSuccessors rebuilds the successor list as [head] + tail, deduped,
+// self-free, truncated.
+func (c *Chord) adoptSuccessors(st *chordState, self, head NodeID, tail []NodeID) {
+	merged := []NodeID{head}
+	for _, s := range tail {
+		if s != NoNode && s != self && !containsNode(merged, s) {
+			merged = append(merged, s)
+		}
+	}
+	if len(merged) > c.cfg.SuccListLen {
+		merged = merged[:c.cfg.SuccListLen]
+	}
+	st.succs = merged
+}
+
+// randomMember picks a live member other than exclude, or NoNode.
+func (c *Chord) randomMember(exclude NodeID) NodeID {
+	if len(c.order) == 0 {
+		return NoNode
+	}
+	for tries := 0; tries < 4; tries++ {
+		if m := c.order[c.src.Intn(len(c.order))]; m != exclude {
+			return m
+		}
+	}
+	for _, m := range c.order {
+		if m != exclude {
+			return m
+		}
+	}
+	return NoNode
+}
+
+func (c *Chord) insertMember(id NodeID) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	if i < len(c.order) && c.order[i] == id {
+		return
+	}
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = id
+}
+
+func (c *Chord) removeMember(id NodeID) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	if i < len(c.order) && c.order[i] == id {
+		c.order = append(c.order[:i:i], c.order[i+1:]...)
+	}
+}
+
+func containsNode(list []NodeID, id NodeID) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- maintenance: stabilize, notify, finger repair ----
+
+// scheduleStabilize runs the periodic maintenance chain for one member
+// incarnation. The chain dies when the state pointer changes (the node
+// left, or left and rejoined as a fresh incarnation) and pauses while the
+// node is down without having left (a crash the protocol has not seen).
+func (c *Chord) scheduleStabilize(id NodeID, st *chordState) {
+	d := c.cfg.StabilizeEvery + time.Duration(st.src.Int63n(int64(c.cfg.StabilizeEvery)/4+1))
+	if h := c.cfg.Horizon; h > 0 && c.rt.Kernel.Now()+d > h {
+		return
+	}
+	c.rt.Kernel.After(d, func() {
+		if c.states[id] != st {
+			return
+		}
+		if c.rt.Alive(id) {
+			c.stabilizeOnce(id, st)
+		}
+		c.scheduleStabilize(id, st)
+	})
+}
+
+// stabilizeOnce runs one maintenance round: verify the successor, notify
+// it, and periodically fix one finger with a full lookup.
+func (c *Chord) stabilizeOnce(id NodeID, st *chordState) {
+	n := c.rt.Node(id)
+	st.round++
+	if len(st.succs) == 0 {
+		// Alone, or the join lookup failed: retry off another member.
+		if boot := c.randomMember(id); boot != NoNode {
+			c.bootstrap(n, st, boot)
+		}
+		return
+	}
+	c.stabilizeSucc(id, st, stabilizeBudget)
+	if c.cfg.FingerEvery > 0 && st.round%c.cfg.FingerEvery == 0 {
+		c.fixFinger(n, st)
+	}
+	if st.round%selfLookupEvery == 0 {
+		// Periodic cross-region repair: re-resolve our own successor from
+		// a random entry point (see bootstrap).
+		if boot := c.randomMember(id); boot != NoNode {
+			c.bootstrap(n, st, boot)
+		}
+	}
+}
+
+// selfLookupEvery re-runs the own-identifier lookup every this many
+// stabilize rounds.
+const selfLookupEvery = 8
+
+// stabilizeBudget bounds one round's cascade: deep enough to walk a
+// freshly joined region back several positions and to skip a dead
+// successor-list prefix, small enough that a churn-degraded ring cannot
+// burn unbounded maintenance traffic in a single round (the next round
+// continues where this one stopped).
+const stabilizeBudget = 16
+
+// stabilizeSucc asks the current successor for its predecessor and
+// successor list, adopts a closer successor if one slotted in, refreshes
+// the list tail, and notifies. When a closer successor is adopted the walk
+// CASCADES — it immediately re-runs against the new successor instead of
+// waiting a full period, because the predecessor walk heals one ring
+// position per exchange and a freshly joined region would otherwise take
+// O(ring) periods to converge. budget bounds the cascade (each step
+// strictly shrinks the (self, successor) arc).
+func (c *Chord) stabilizeSucc(id NodeID, st *chordState, budget int) {
+	if budget <= 0 || len(st.succs) == 0 {
+		return
+	}
+	n := c.rt.Node(id)
+	succ := st.succs[0]
+	n.Request(succ, MsgChordState, nil, c.cfg.RPCTimeout,
+		func(env Envelope) {
+			if c.states[id] != st || !n.Alive() {
+				return
+			}
+			sm := env.Payload.(cStateOKMsg)
+			delete(st.suspect, succ)
+			// learn() adopts whichever of these lands closest between us
+			// and the current successor — the successor's predecessor (the
+			// classic stabilize rectification) and its successor list.
+			c.learn(st, succ)
+			if sm.Pred != NoNode && sm.Pred != id {
+				c.learn(st, sm.Pred)
+			}
+			for _, s := range sm.Succs {
+				c.learn(st, s)
+			}
+			if len(st.succs) > 0 && st.succs[0] != succ {
+				// A closer successor surfaced: notify it and keep walking
+				// toward our true successor within this round.
+				n.Send(st.succs[0], MsgChordNotify, nil)
+				c.stabilizeSucc(id, st, budget-1)
+				return
+			}
+			c.adoptSuccessors(st, id, succ, sm.Succs)
+			n.Send(st.succs[0], MsgChordNotify, nil)
+		},
+		func() {
+			if c.states[id] != st || !n.Alive() {
+				return
+			}
+			// Possibly dead, possibly one lost exchange: evict only on the
+			// second consecutive timeout, then retry against the next list
+			// entry right away (successor-list repair).
+			if c.suspectPeer(st, succ) {
+				c.stabilizeSucc(id, st, budget-1)
+			}
+		})
+}
+
+// fixFinger repairs one finger slot with a full iterative lookup of its
+// ring target; learn() slots the result in. Slots whose target falls
+// within the successor arc are answered by the successor pointer for free
+// and skipped, so the lookup budget cycles over the O(log n) long-range
+// fingers that actually route — a 64-slot round-robin would leave them
+// stale for longer than a churn session.
+func (c *Chord) fixFinger(n *Node, st *chordState) {
+	if len(st.succs) == 0 {
+		return
+	}
+	succRing := c.RingIDOf(st.succs[0])
+	i := st.nextFin
+	for skipped := 0; skipped < len(st.fingers); skipped++ {
+		if !dht.BetweenRightIncl(st.ringID+1<<uint(i), st.ringID, succRing) {
+			break
+		}
+		st.fingers[i] = st.succs[0]
+		i = (i + 1) % len(st.fingers)
+	}
+	st.nextFin = (i + 1) % len(st.fingers)
+	target := st.ringID + 1<<uint(i)
+	res := &LookupResult{Owner: NoNode}
+	c.drive(n, st, nil, target, res, func(r LookupResult) {
+		if c.states[n.ID] != st {
+			return
+		}
+		if r.OK && r.Owner != NoNode && r.Owner != n.ID {
+			// The freshly resolved owner replaces whatever the slot held —
+			// a stale entry would otherwise survive as long as it looked
+			// "closer" than anything passively learned.
+			if dht.RingDist(st.ringID+1<<uint(i), c.RingIDOf(r.Owner)) < dht.RingDist(st.ringID+1<<uint(i), st.ringID) {
+				st.fingers[i] = r.Owner
+			}
+			c.learn(st, r.Owner)
+		}
+	})
+}
+
+// learn folds an observed peer into the routing state: it repairs the
+// successor pointer when the peer falls between self and the current
+// successor (without this, a mass join can freeze into a stable wrong
+// ring — stabilize alone only ever inspects the successor's predecessor,
+// which on a garbage pointer graph may never name anything closer), and it
+// offers the peer to every finger slot it improves (finger[i] wants the
+// first known node at or after ringID + 2^i, not wrapping past self).
+func (c *Chord) learn(st *chordState, peer NodeID) {
+	if peer == NoNode {
+		return
+	}
+	pr := c.RingIDOf(peer)
+	if pr == st.ringID {
+		return
+	}
+	if len(st.succs) > 0 && peer != st.succs[0] && dht.Between(pr, st.ringID, c.RingIDOf(st.succs[0])) {
+		// A closer successor, learned from any reply or notify. It is
+		// unverified — if it is stale and dead, stabilize will suspect and
+		// evict it within two rounds.
+		c.adoptSuccessors(st, NoNode, peer, st.succs)
+	}
+	for i := range st.fingers {
+		start := st.ringID + 1<<uint(i)
+		dp := dht.RingDist(start, pr)
+		if dp >= dht.RingDist(start, st.ringID) {
+			continue // wraps past self: outside finger i's range
+		}
+		cur := st.fingers[i]
+		if cur == NoNode || dp < dht.RingDist(start, c.RingIDOf(cur)) {
+			st.fingers[i] = peer
+		}
+	}
+}
+
+// suspectPeer records an RPC timeout against a peer and evicts it after
+// two consecutive ones. A single timeout must not evict: under packet loss
+// ~2·loss of all RPCs time out against perfectly live peers, and evicting
+// the successor on one lost exchange makes the node claim its successor's
+// keys until the next stabilize heals it — enough ring incoherence to make
+// puts and gets resolve different owners. Two consecutive timeouts are
+// overwhelmingly a dead peer. Reports whether the peer was evicted.
+func (c *Chord) suspectPeer(st *chordState, peer NodeID) bool {
+	st.suspect[peer]++
+	if st.suspect[peer] < 2 {
+		return false
+	}
+	delete(st.suspect, peer)
+	c.evictPeer(st, peer)
+	return true
+}
+
+// evictPeer drops a dead peer from a member's routing state.
+func (c *Chord) evictPeer(st *chordState, peer NodeID) {
+	for i, s := range st.succs {
+		if s == peer {
+			st.succs = append(st.succs[:i:i], st.succs[i+1:]...)
+			break
+		}
+	}
+	for i, f := range st.fingers {
+		if f == peer {
+			st.fingers[i] = NoNode
+		}
+	}
+	if st.pred == peer {
+		st.pred = NoNode
+	}
+}
+
+// ---- wire payloads ----
+
+// cFindMsg asks one routing step toward Key's owner.
+type cFindMsg struct{ Key uint64 }
+
+// cFindOKMsg answers a routing step: either the owner (with its likely
+// replica set), or the next hop plus fallback candidates for when the next
+// hop turns out dead.
+type cFindOKMsg struct {
+	Done  bool
+	Owner NodeID
+	Reps  []NodeID
+	Next  NodeID
+	Alts  []NodeID
+}
+
+// cStateOKMsg is the stabilize answer.
+type cStateOKMsg struct {
+	Pred  NodeID
+	Succs []NodeID
+}
+
+// cStoreMsg stores Val under Key; Rep is how many successor replicas the
+// receiver should fan out.
+type cStoreMsg struct {
+	Key string
+	Val []byte
+	Rep int
+}
+
+// cFetchMsg retrieves Key's values.
+type cFetchMsg struct{ Key string }
+
+// cFetchOKMsg carries them back.
+type cFetchOKMsg struct{ Vals [][]byte }
+
+// cHandoffMsg transfers a graceful leaver's keys.
+type cHandoffMsg struct{ Data map[string][][]byte }
+
+// ---- handlers ----
+
+// routeStep decides one routing step at a member: ownership if the key
+// falls in (pred, self] or (self, successor], otherwise the closest
+// preceding known candidate with fallbacks.
+func (c *Chord) routeStep(self NodeID, st *chordState, key uint64) cFindOKMsg {
+	if len(st.succs) == 0 {
+		return cFindOKMsg{Done: true, Owner: self, Next: NoNode}
+	}
+	if st.pred != NoNode && dht.BetweenRightIncl(key, c.RingIDOf(st.pred), st.ringID) {
+		return cFindOKMsg{Done: true, Owner: self, Reps: append([]NodeID(nil), st.succs...), Next: NoNode}
+	}
+	succ := st.succs[0]
+	if dht.BetweenRightIncl(key, st.ringID, c.RingIDOf(succ)) {
+		return cFindOKMsg{Done: true, Owner: succ, Reps: append([]NodeID(nil), st.succs[1:]...), Next: NoNode}
+	}
+	cands := c.closestPreceding(st, self, key)
+	if len(cands) == 0 {
+		return cFindOKMsg{Next: succ, Alts: append([]NodeID(nil), st.succs[1:]...)}
+	}
+	alts := cands[1:]
+	if len(alts) > 3 {
+		alts = alts[:3]
+	}
+	return cFindOKMsg{Next: cands[0], Alts: append([]NodeID(nil), alts...)}
+}
+
+// closestPreceding returns the known candidates strictly between self and
+// the key, closest-to-the-key first.
+func (c *Chord) closestPreceding(st *chordState, self NodeID, key uint64) []NodeID {
+	seen := map[NodeID]bool{self: true}
+	var out []NodeID
+	add := func(id NodeID) {
+		if id == NoNode || seen[id] {
+			return
+		}
+		seen[id] = true
+		if dht.Between(c.RingIDOf(id), st.ringID, key) {
+			out = append(out, id)
+		}
+	}
+	for _, f := range st.fingers {
+		add(f)
+	}
+	for _, s := range st.succs {
+		add(s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := dht.RingDist(c.RingIDOf(out[i]), key), dht.RingDist(c.RingIDOf(out[j]), key)
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// handleFind answers one routing step. A node that is no longer a member
+// stays silent, so the asker's per-hop timeout fires and it retries via its
+// fallback candidates.
+func (c *Chord) handleFind(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	n.Reply(env, MsgChordFindOK, c.routeStep(n.ID, st, env.Payload.(cFindMsg).Key))
+}
+
+func (c *Chord) handleState(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	n.Reply(env, MsgChordStateOK, cStateOKMsg{Pred: st.pred, Succs: append([]NodeID(nil), st.succs...)})
+}
+
+// handleNotify rectifies the predecessor pointer. Liveness of the old
+// predecessor is inferred from notify freshness (a live predecessor
+// re-notifies every stabilize round), keeping the protocol free of global
+// aliveness peeks.
+func (c *Chord) handleNotify(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil || env.From == n.ID {
+		return
+	}
+	p := env.From
+	now := c.rt.Kernel.Now()
+	stale := st.pred == NoNode || now-st.predSeen > 3*c.cfg.StabilizeEvery
+	if st.pred == p || stale || dht.Between(c.RingIDOf(p), c.RingIDOf(st.pred), st.ringID) {
+		st.pred = p
+		st.predSeen = now
+	}
+	if len(st.succs) == 0 {
+		// Two-node bootstrap: the first node hears of the second only by
+		// this notify, which makes the notifier its successor too.
+		st.succs = []NodeID{p}
+	}
+	c.learn(st, p)
+}
+
+func (c *Chord) handleStore(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	sm := env.Payload.(cStoreMsg)
+	storeValue(st.data, sm.Key, sm.Val)
+	reps := sm.Rep
+	for _, s := range st.succs {
+		if reps <= 0 {
+			break
+		}
+		n.Send(s, MsgChordStoreRep, cStoreMsg{Key: sm.Key, Val: sm.Val})
+		reps--
+	}
+	n.Reply(env, MsgChordStoreOK, nil)
+}
+
+func (c *Chord) handleStoreRep(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	sm := env.Payload.(cStoreMsg)
+	storeValue(st.data, sm.Key, sm.Val)
+}
+
+// storeValue appends a value under key unless an identical value is
+// already there: hints are soft state refreshed by republish, and without
+// the duplicate check every rejoin's republish would grow the key's value
+// set (and every fetch reply) forever.
+func storeValue(data map[string][][]byte, key string, val []byte) {
+	for _, v := range data[key] {
+		if string(v) == string(val) {
+			return
+		}
+	}
+	data[key] = append(data[key], append([]byte(nil), val...))
+}
+
+func (c *Chord) handleFetch(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	vals := st.data[env.Payload.(cFetchMsg).Key]
+	out := make([][]byte, len(vals))
+	for i, v := range vals {
+		out[i] = append([]byte(nil), v...)
+	}
+	n.Reply(env, MsgChordFetchOK, cFetchOKMsg{Vals: out})
+}
+
+func (c *Chord) handleHandoff(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	mergeValues(st.data, env.Payload.(cHandoffMsg).Data)
+}
+
+// handleMigrate hands a new predecessor the keys it now owns: everything
+// this node holds whose hash no longer falls in its own ownership range
+// (joiner, self]. Without this, every join would strand previously stored
+// keys at the old owner while lookups resolve to the new one. The copies
+// stay here too — deleting before the (lossy) reply is confirmed would
+// orphan the keys, and keeping them just demotes this node to a replica
+// for them; duplicate-skipping merges keep repeated migrations from
+// inflating anything.
+func (c *Chord) handleMigrate(n *Node, env Envelope) {
+	st := c.states[n.ID]
+	if st == nil {
+		return
+	}
+	joiner := c.RingIDOf(env.From)
+	moved := make(map[string][][]byte)
+	for k, vs := range st.data {
+		if !dht.BetweenRightIncl(dht.HashKey(k), joiner, st.ringID) {
+			cvs := make([][]byte, len(vs))
+			for i, v := range vs {
+				cvs[i] = append([]byte(nil), v...)
+			}
+			moved[k] = cvs
+		}
+	}
+	n.Reply(env, MsgChordMigrateOK, cHandoffMsg{Data: moved})
+}
+
+// mergeValues folds src into the data map, skipping values already present
+// under their key, so repeated migrations and handoffs stay idempotent.
+func mergeValues(data map[string][][]byte, src map[string][][]byte) {
+	for k, vs := range src {
+		for _, v := range vs {
+			storeValue(data, k, v)
+		}
+	}
+}
+
+// ---- client operations: iterative lookup, put, get ----
+
+// LookupResult reports one iterative lookup.
+type LookupResult struct {
+	// Owner is the resolved key owner (NoNode on failure).
+	Owner NodeID
+	// Reps are the owner's likely successors — where replicas live.
+	Reps []NodeID
+	// Hops counts routing RPCs issued (including retried ones).
+	Hops int
+	// Retries counts hops that timed out and were re-routed.
+	Retries int
+	// OK reports whether the lookup resolved.
+	OK bool
+}
+
+// OpResult reports one Put or Get.
+type OpResult struct {
+	OK bool
+	// Vals carries the fetched values (Get only).
+	Vals [][]byte
+	// Hops, Retries and LookupFails aggregate over every lookup attempt
+	// the operation made.
+	Hops        int
+	Retries     int
+	LookupFails int
+}
+
+// Lookup resolves a key's owner iteratively from the given node. A member
+// starts from its own routing state (free); a non-member starts from a
+// random live member (the bootstrap handout). done fires exactly once
+// unless the issuing node dies mid-lookup.
+func (c *Chord) Lookup(from NodeID, key string, done func(LookupResult)) {
+	n := c.rt.AddNode(from)
+	res := &LookupResult{Owner: NoNode}
+	c.drive(n, c.states[from], nil, dht.HashKey(key), res, done)
+}
+
+// drive runs one iterative lookup from n: a best-first frontier of
+// candidates ordered by remaining ring distance, asking one at a time,
+// folding each answer's alternates in, and retrying through the frontier
+// when a hop times out. st is n's member state (nil: seed from starts, or
+// a random member).
+func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res *LookupResult, done func(LookupResult)) {
+	visited := map[NodeID]bool{n.ID: true}
+	var frontier []NodeID
+	push := func(ids ...NodeID) {
+		for _, id := range ids {
+			if id != NoNode && !visited[id] {
+				visited[id] = true
+				frontier = append(frontier, id)
+			}
+		}
+	}
+	if st != nil && len(st.succs) == 0 && len(c.order) > 1 {
+		// A member that has not (re)discovered its successor yet would
+		// answer every key with itself — route via the membership instead,
+		// like a non-member, until stabilize re-anchors it.
+		st = nil
+	}
+	if st != nil {
+		step := c.routeStep(n.ID, st, key)
+		if step.Done {
+			res.OK, res.Owner, res.Reps = true, step.Owner, step.Reps
+			done(*res)
+			return
+		}
+		push(step.Next)
+		push(step.Alts...)
+	} else {
+		if len(starts) == 0 {
+			if b := c.randomMember(n.ID); b != NoNode {
+				starts = []NodeID{b}
+			}
+		}
+		push(starts...)
+	}
+	memberState := func() *chordState {
+		if st != nil && c.states[n.ID] == st {
+			return st
+		}
+		return nil
+	}
+	maxTimeouts := c.cfg.MaxLookupTimeouts
+	if maxTimeouts <= 0 {
+		maxTimeouts = c.cfg.MaxHops
+	}
+	var next func()
+	next = func() {
+		if len(frontier) == 0 || res.Hops >= c.cfg.MaxHops || res.Retries >= maxTimeouts {
+			done(*res)
+			return
+		}
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if dht.RingDist(c.RingIDOf(frontier[i]), key) < dht.RingDist(c.RingIDOf(frontier[best]), key) {
+				best = i
+			}
+		}
+		cur := frontier[best]
+		frontier = append(frontier[:best], frontier[best+1:]...)
+		res.Hops++
+		n.Request(cur, MsgChordFind, cFindMsg{Key: key}, c.cfg.RPCTimeout,
+			func(env Envelope) {
+				if !n.Alive() {
+					return
+				}
+				ok := env.Payload.(cFindOKMsg)
+				if ms := memberState(); ms != nil {
+					delete(ms.suspect, cur)
+					c.learn(ms, cur)
+					c.learn(ms, ok.Owner)
+					c.learn(ms, ok.Next)
+				}
+				if ok.Done {
+					res.OK, res.Owner, res.Reps = true, ok.Owner, ok.Reps
+					done(*res)
+					return
+				}
+				push(ok.Next)
+				push(ok.Alts...)
+				next()
+			},
+			func() {
+				if !n.Alive() {
+					return
+				}
+				res.Retries++
+				if ms := memberState(); ms != nil {
+					c.suspectPeer(ms, cur)
+				}
+				next()
+			})
+	}
+	next()
+}
+
+// Put stores value under key from the given node: an iterative lookup,
+// then a store RPC to the owner (which replicates server-side), falling
+// back through the owner's successors and finally a fresh lookup when
+// stores time out. Stores are idempotent — an identical value already
+// present is not duplicated — so hint schemes can republish freely.
+func (c *Chord) Put(from NodeID, key string, val []byte, done func(OpResult)) {
+	res := &OpResult{}
+	c.opAttempt(c.rt.AddNode(from), key, res, 2,
+		MsgChordStore, cStoreMsg{Key: key, Val: val, Rep: c.cfg.Replicas - 1},
+		func(Envelope) { res.OK = true },
+		done)
+}
+
+// Get retrieves a key's values from the given node: an iterative lookup,
+// a fetch from the owner, and fallback fetches from its replicas when the
+// owner has gone dark.
+func (c *Chord) Get(from NodeID, key string, done func(OpResult)) {
+	res := &OpResult{}
+	c.opAttempt(c.rt.AddNode(from), key, res, 2,
+		MsgChordFetch, cFetchMsg{Key: key},
+		func(env Envelope) {
+			res.OK = true
+			res.Vals = env.Payload.(cFetchOKMsg).Vals
+		},
+		done)
+}
+
+// opAttempt is the shared skeleton of Put and Get: resolve the key's
+// owner, issue the operation RPC against the owner and then each replica
+// in turn when targets time out, and re-run the whole attempt (fresh
+// lookup included) when every target is exhausted, up to the attempt
+// budget. onOK consumes the first successful reply before done fires.
+func (c *Chord) opAttempt(n *Node, key string, res *OpResult, attempts int, typ string, payload any, onOK func(Envelope), done func(OpResult)) {
+	if attempts <= 0 {
+		done(*res)
+		return
+	}
+	lr := &LookupResult{Owner: NoNode}
+	c.drive(n, c.states[n.ID], nil, dht.HashKey(key), lr, func(r LookupResult) {
+		res.Hops += r.Hops
+		res.Retries += r.Retries
+		if !r.OK {
+			res.LookupFails++
+			c.opAttempt(n, key, res, attempts-1, typ, payload, onOK, done)
+			return
+		}
+		targets := append([]NodeID{r.Owner}, r.Reps...)
+		var tryNext func(ts []NodeID)
+		tryNext = func(ts []NodeID) {
+			for len(ts) > 0 && ts[0] == NoNode {
+				ts = ts[1:]
+			}
+			if len(ts) == 0 {
+				c.opAttempt(n, key, res, attempts-1, typ, payload, onOK, done)
+				return
+			}
+			n.Request(ts[0], typ, payload, c.cfg.RPCTimeout,
+				func(env Envelope) {
+					onOK(env)
+					done(*res)
+				},
+				func() {
+					res.Retries++
+					tryNext(ts[1:])
+				})
+		}
+		tryNext(targets)
+	})
+}

@@ -1,0 +1,252 @@
+package p2p
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"nearestpeer/internal/dht"
+	"nearestpeer/internal/sim"
+)
+
+// chordTestConfig keeps maintenance fast and lets the event queue drain.
+func chordTestConfig(horizon time.Duration) ChordConfig {
+	cfg := DefaultChordConfig()
+	cfg.StabilizeEvery = 500 * time.Millisecond
+	cfg.Horizon = horizon
+	return cfg
+}
+
+// standUpRing joins n nodes staggered 10 ms apart and runs the kernel until
+// the horizon drains maintenance.
+func standUpRing(t *testing.T, n int, loss float64, horizon time.Duration) (*sim.Sim, *Runtime, *Chord) {
+	t.Helper()
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(n), Config{LossProb: loss, RPCTimeout: time.Second}, 1)
+	ch := NewChord(rt, chordTestConfig(horizon), 7)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		kernel.After(time.Duration(i)*10*time.Millisecond, func() { ch.Join(id) })
+	}
+	kernel.Run()
+	return kernel, rt, ch
+}
+
+// ringOrder returns the member ids sorted by ring position starting at the
+// smallest ring id.
+func ringOrder(ch *Chord, ids []NodeID) []NodeID {
+	out := append([]NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return ch.RingIDOf(out[i]) < ch.RingIDOf(out[j]) })
+	return out
+}
+
+// expectedOwner computes successor(key) over the given membership — the
+// ground truth the protocol should converge to.
+func expectedOwner(ch *Chord, ids []NodeID, key uint64) NodeID {
+	best := NoNode
+	var bestDist uint64
+	for _, id := range ids {
+		d := ch.RingIDOf(id) - key // wrapping: clockwise distance from key to id
+		if best == NoNode || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best
+}
+
+func TestChordRingConverges(t *testing.T) {
+	const n = 32
+	_, _, ch := standUpRing(t, n, 0, 30*time.Second)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	ring := ringOrder(ch, ids)
+	for i, id := range ring {
+		wantSucc := ring[(i+1)%n]
+		wantPred := ring[(i+n-1)%n]
+		succ, ok := ch.SuccessorOf(id)
+		if !ok || succ != wantSucc {
+			t.Errorf("node %d successor = %d (ok=%v), want %d", id, succ, ok, wantSucc)
+		}
+		pred, ok := ch.PredecessorOf(id)
+		if !ok || pred != wantPred {
+			t.Errorf("node %d predecessor = %d (ok=%v), want %d", id, pred, ok, wantPred)
+		}
+	}
+}
+
+func TestChordLookupResolvesOwner(t *testing.T) {
+	const n = 24
+	kernel, _, ch := standUpRing(t, n, 0, 20*time.Second)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	keys := []string{"ucl/router/17", "prefix/24/0a0b0c00", "alpha", "beta", "gamma", "delta"}
+	for _, key := range keys {
+		for _, from := range []NodeID{0, 11, 23} {
+			var got LookupResult
+			ch.Lookup(from, key, func(r LookupResult) { got = r })
+			kernel.Run()
+			want := expectedOwner(ch, ids, dht.HashKey(key))
+			if !got.OK || got.Owner != want {
+				t.Errorf("lookup %q from %d = %+v, want owner %d", key, from, got, want)
+			}
+			if got.Hops > ch.cfg.MaxHops {
+				t.Errorf("lookup %q took %d hops", key, got.Hops)
+			}
+		}
+	}
+}
+
+func TestChordPutGetRoundTrip(t *testing.T) {
+	const n = 16
+	kernel, _, ch := standUpRing(t, n, 0, 20*time.Second)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	val := []byte("entry-1")
+	var put OpResult
+	ch.Put(3, "shared/key", val, func(r OpResult) { put = r })
+	kernel.Run()
+	if !put.OK {
+		t.Fatalf("put failed: %+v", put)
+	}
+	owner := expectedOwner(ch, ids, dht.HashKey("shared/key"))
+	if got := ch.StoredAt(owner, "shared/key"); got != 1 {
+		t.Fatalf("owner %d stores %d values, want 1", owner, got)
+	}
+	// Replicas: Replicas-1 successors hold a copy.
+	replicated := 0
+	for _, id := range ids {
+		if id != owner && ch.StoredAt(id, "shared/key") > 0 {
+			replicated++
+		}
+	}
+	if replicated != ch.cfg.Replicas-1 {
+		t.Fatalf("%d replicas besides the owner, want %d", replicated, ch.cfg.Replicas-1)
+	}
+	var get OpResult
+	ch.Get(12, "shared/key", func(r OpResult) { get = r })
+	kernel.Run()
+	if !get.OK || len(get.Vals) != 1 || !bytes.Equal(get.Vals[0], val) {
+		t.Fatalf("get = %+v, want the stored value back", get)
+	}
+}
+
+func TestChordLookupUnderLoss(t *testing.T) {
+	const n = 24
+	kernel, rt, ch := standUpRing(t, n, 0.05, 30*time.Second)
+	okCount, fails := 0, 0
+	const lookups = 60
+	for i := 0; i < lookups; i++ {
+		key := "lossy/" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		ch.Lookup(NodeID(i%n), key, func(r LookupResult) {
+			if r.OK {
+				okCount++
+			} else {
+				fails++
+			}
+		})
+		kernel.Run()
+	}
+	if okCount < lookups*9/10 {
+		t.Fatalf("only %d/%d lookups resolved under 5%% loss", okCount, lookups)
+	}
+	if rt.Metrics.Timeouts == 0 {
+		t.Fatal("no RPC timeouts under 5% loss — the loss model is not in the path")
+	}
+}
+
+func TestChordGetFallsBackToReplicaAfterOwnerCrash(t *testing.T) {
+	const n = 16
+	kernel, rt, ch := standUpRing(t, n, 0, 20*time.Second)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	val := []byte("survives")
+	ch.Put(0, "fragile/key", val, func(OpResult) {})
+	kernel.Run()
+	owner := expectedOwner(ch, ids, dht.HashKey("fragile/key"))
+	rt.Node(owner).Stop() // crash, no goodbye: the ring has not noticed
+	var from NodeID = 1
+	if from == owner {
+		from = 2
+	}
+	var get OpResult
+	ch.Get(from, "fragile/key", func(r OpResult) { get = r })
+	kernel.Run()
+	if !get.OK || len(get.Vals) == 0 || !bytes.Equal(get.Vals[0], val) {
+		t.Fatalf("get after owner crash = %+v, want the replica's copy", get)
+	}
+	if get.Retries == 0 {
+		t.Fatal("get resolved without retrying — the dead owner answered?")
+	}
+}
+
+func TestChordSurvivesChurn(t *testing.T) {
+	const n = 40
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(n), Config{RPCTimeout: time.Second}, 1)
+	cfg := chordTestConfig(4 * time.Minute)
+	ch := NewChord(rt, cfg, 7)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+		id := ids[i]
+		kernel.After(time.Duration(i)*10*time.Millisecond, func() { ch.Join(id) })
+	}
+	ccfg := ChurnConfig{
+		MeanSession:  60 * time.Second,
+		MeanOffline:  15 * time.Second,
+		GracefulProb: 0.5,
+		Horizon:      3 * time.Minute,
+	}
+	churn := NewChurn(rt, ccfg, 11)
+	churn.OnLeave = func(id NodeID, graceful bool) { ch.Leave(id, graceful) }
+	churn.OnJoin = func(id NodeID) { ch.Join(id) }
+	churn.Drive(ids[1:]) // node 0 stays up to query from
+	okCount, issued := 0, 0
+	var step func()
+	step = func() {
+		if issued >= 25 {
+			return
+		}
+		issued++
+		key := "churny/" + string(rune('a'+issued))
+		ch.Lookup(0, key, func(r LookupResult) {
+			if r.OK && ch.states[r.Owner] != nil {
+				okCount++
+			}
+			kernel.After(2*time.Second, step)
+		})
+	}
+	kernel.At(time.Minute, step) // start querying mid-churn
+	kernel.Run()
+	if churn.Leaves == 0 || churn.Joins == 0 {
+		t.Fatalf("no churn happened: %+v", churn)
+	}
+	if issued != 25 {
+		t.Fatalf("only %d lookups issued", issued)
+	}
+	if okCount < issued*3/4 {
+		t.Fatalf("only %d/%d lookups resolved to live members under churn", okCount, issued)
+	}
+}
+
+func TestChordDeterministicReplay(t *testing.T) {
+	run := func() (Metrics, int) {
+		kernel, rt, ch := standUpRing(t, 16, 0.1, 15*time.Second)
+		_ = kernel
+		return rt.Metrics, ch.NumMembers()
+	}
+	m1, n1 := run()
+	m2, n2 := run()
+	if m1 != m2 || n1 != n2 {
+		t.Fatalf("same seed diverged: %+v/%d vs %+v/%d", m1, n1, m2, n2)
+	}
+}

@@ -99,7 +99,17 @@ func (c *Churn) after(d time.Duration, fn func()) bool {
 func (c *Churn) scheduleLeave(id NodeID) {
 	c.after(c.session(), func() {
 		n := c.rt.Node(id)
-		if n == nil || !n.alive {
+		if n == nil {
+			return
+		}
+		if !n.alive {
+			// Something else already took the node down (an experiment
+			// calling Stop or a protocol Leave mid-session): not a churn
+			// leave — nothing to count, no OnLeave — but the churn process
+			// keeps driving the node, or it would silently drop out of the
+			// membership process forever (the mirror of the rejoin case
+			// below).
+			c.scheduleJoin(id)
 			return
 		}
 		graceful := c.src.Bool(c.cfg.GracefulProb)
@@ -118,13 +128,21 @@ func (c *Churn) scheduleLeave(id NodeID) {
 func (c *Churn) scheduleJoin(id NodeID) {
 	c.after(time.Duration(c.src.Exponential(float64(c.cfg.MeanOffline))), func() {
 		n := c.rt.Node(id)
-		if n == nil || n.alive {
+		if n == nil {
 			return
 		}
-		n.Restart()
-		c.Joins++
-		if c.OnJoin != nil {
-			c.OnJoin(id)
+		// If something else already brought the node back up (an experiment
+		// Restart()ing it mid-gap), this is not a churn join — nothing to
+		// count, no OnJoin (whoever restarted it owns the protocol re-entry)
+		// — but the churn process keeps driving the node either way: the
+		// next leave must be scheduled, or the node would silently drop out
+		// of the membership process forever.
+		if !n.alive {
+			n.Restart()
+			c.Joins++
+			if c.OnJoin != nil {
+				c.OnJoin(id)
+			}
 		}
 		c.scheduleLeave(id)
 	})

@@ -43,14 +43,21 @@ func DefaultExpandConfig() ExpandConfig {
 	return ExpandConfig{InitialRadiusMs: 1, RadiusMult: 4, Rounds: 5, RoundTimeout: 400 * time.Millisecond}
 }
 
-// findMsg is the multicast query payload.
+// findMsg is the multicast query payload. Round identifies the expansion
+// round that sent this copy; responders echo it so the searcher can
+// measure a late answer against the round that actually asked, not
+// whatever round happens to be open when the answer lands.
 type findMsg struct {
-	SID  uint64
-	From NodeID
+	SID   uint64
+	From  NodeID
+	Round int
 }
 
-// foundMsg is the answer payload.
-type foundMsg struct{ SID uint64 }
+// foundMsg is the answer payload, echoing the round it answers.
+type foundMsg struct {
+	SID   uint64
+	Round int
+}
 
 // ExpandResult reports one search's outcome.
 type ExpandResult struct {
@@ -70,13 +77,13 @@ type ExpandResult struct {
 
 // expandSearch is one in-flight search at its searcher.
 type expandSearch struct {
-	sid        uint64
-	client     NodeID
-	round      int
-	started    time.Duration
-	roundStart time.Duration
-	messages   int
-	done       func(ExpandResult)
+	sid      uint64
+	client   NodeID
+	round    int
+	started  time.Duration
+	sentAt   []time.Duration // sentAt[r] = virtual time round r multicast its finds
+	messages int
+	done     func(ExpandResult)
 }
 
 // Expanding runs expanding-ring searches over a Runtime. Members must
@@ -102,7 +109,8 @@ func (e *Expanding) Register(id NodeID) {
 	n := e.rt.AddNode(id)
 	e.rt.JoinGroup(ExpandGroup, id)
 	n.Handle(MsgFind, func(n *Node, env Envelope) {
-		n.Send(env.From, MsgFound, foundMsg{SID: env.Payload.(findMsg).SID})
+		fm := env.Payload.(findMsg)
+		n.Send(env.From, MsgFound, foundMsg{SID: fm.SID, Round: fm.Round})
 	})
 }
 
@@ -126,9 +134,12 @@ func (e *Expanding) Search(client NodeID, done func(ExpandResult)) {
 		}
 		delete(e.searches, fm.SID)
 		now := e.rt.Kernel.Now()
+		// Measure against the round that sent the find this answers — a
+		// late answer (allowed: "they still count") must not be timed
+		// against a newer round's start, which would under-report the RTT.
 		sr.done(ExpandResult{
 			Peer:     int(env.From),
-			RTTms:    msOf(now - sr.roundStart),
+			RTTms:    msOf(now - sr.sentAt[fm.Round]),
 			Rounds:   sr.round, // round counts multicasts already sent
 			Messages: sr.messages,
 			Elapsed:  now - sr.started,
@@ -152,8 +163,8 @@ func (e *Expanding) runRound(s *expandSearch) {
 	for i := 0; i < s.round; i++ {
 		radius *= e.cfg.RadiusMult
 	}
-	s.roundStart = e.rt.Kernel.Now()
-	s.messages += e.rt.Multicast(s.client, ExpandGroup, MsgFind, findMsg{SID: s.sid, From: s.client}, radius)
+	s.sentAt = append(s.sentAt, e.rt.Kernel.Now())
+	s.messages += e.rt.Multicast(s.client, ExpandGroup, MsgFind, findMsg{SID: s.sid, From: s.client, Round: s.round}, radius)
 	s.round++
 	e.rt.Kernel.After(e.cfg.RoundTimeout, func() { e.runRound(s) })
 }

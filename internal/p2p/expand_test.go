@@ -58,6 +58,37 @@ func TestExpandingUnfoundAfterAllRounds(t *testing.T) {
 	}
 }
 
+// A member answers a round whose timeout already expired (documented as
+// allowed: "they still count"). The measured RTT must be taken against the
+// round that sent the find, not against whatever round is open when the
+// answer lands — the bug measured now-roundStart with roundStart advancing
+// every round, under-reporting the RTT of every late answer.
+func TestExpandingLateAnswerMeasuredAgainstItsRound(t *testing.T) {
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(6), DefaultConfig(), 1)
+	e := NewExpanding(rt, ExpandConfig{
+		InitialRadiusMs: 100, // round 0 already reaches the only member
+		RadiusMult:      2,
+		Rounds:          6,
+		RoundTimeout:    10 * time.Millisecond, // rounds close long before the answer returns
+	})
+	e.Register(5) // 50 ms from searcher 0: the answer lands in round 5
+	var res ExpandResult
+	e.Search(0, func(r ExpandResult) { res = r })
+	kernel.Run()
+	if !res.Found || res.Peer != 5 {
+		t.Fatalf("found=%v peer=%d, want member 5", res.Found, res.Peer)
+	}
+	// Round 0 sent the find at t=0; the answer arrives at t=50 ms. With the
+	// bug the RTT was measured against round 5's start (t=40 ms) as 10 ms.
+	if res.RTTms != 50 {
+		t.Fatalf("late answer measured as %v ms, want 50 (its own round's send time)", res.RTTms)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("resolved after %d rounds, want 5", res.Rounds)
+	}
+}
+
 func TestExpandingSkipsCrashedAndDeregistered(t *testing.T) {
 	kernel := sim.New()
 	rt := New(kernel, lineMatrix(6), DefaultConfig(), 1)

@@ -198,6 +198,9 @@ func (m *Meridian) Join(id NodeID) {
 		return
 	}
 	n := m.rt.AddNode(id)
+	if !n.Alive() {
+		n.Restart() // explicit protocol (re)entry brings the node back up
+	}
 	st := &meridianState{
 		rings:    make([][]NodeID, m.cfg.NumRings),
 		ringSeen: make([]int, m.cfg.NumRings),

@@ -11,10 +11,11 @@ import (
 
 // Runtime is the message transport: it owns the kernel, the latency matrix
 // that prices every link, the loss model, the node registry and the global
-// metrics. One-way delivery takes half the matrix RTT, so a request/response
-// round trip measured in virtual time equals the matrix entry exactly —
-// which is what makes ping-over-messages interchangeable with the static
-// simulator's Probe.
+// metrics. A request leg travels ⌊durOf(RTT)/2⌋ and a response leg the
+// remaining durOf(RTT)-⌊durOf(RTT)/2⌋, so a request/response round trip
+// measured in virtual time equals the matrix entry exactly (at nanosecond
+// resolution) — which is what makes ping-over-messages interchangeable
+// with the static simulator's Probe.
 type Runtime struct {
 	// Kernel is the discrete-event clock all activity runs on.
 	Kernel *sim.Sim
@@ -51,16 +52,17 @@ func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
 // RTTms returns the true link RTT between two nodes in milliseconds.
 func (r *Runtime) RTTms(a, b NodeID) float64 { return r.m.LatencyMs(int(a), int(b)) }
 
-// AddNode registers (or returns, if already registered) the node for a
-// matrix index and brings it up alive. Every node answers pings.
+// AddNode registers the node for a matrix index, bringing a NEW node up
+// alive. An already-registered node is returned as-is: in particular a
+// stopped node stays stopped. Resurrection is Restart's job — AddNode
+// silently reviving a churn-downed node would remove it from the churn
+// process (the pending rejoin would find it alive and stop driving it).
+// Every node answers pings.
 func (r *Runtime) AddNode(id NodeID) *Node {
 	if int(id) < 0 || int(id) >= r.m.N() {
 		panic(fmt.Sprintf("p2p: node %d outside matrix population %d", id, r.m.N()))
 	}
 	if n, ok := r.nodes[id]; ok {
-		if !n.alive {
-			n.Restart()
-		}
 		return n
 	}
 	n := &Node{
@@ -135,13 +137,24 @@ func (r *Runtime) allocMsgID() uint64 {
 // loss draw happens at send time; aliveness of the destination is checked
 // at delivery time, so a message in flight to a node that crashes meanwhile
 // is silently swallowed — exactly the failure a timeout exists to cover.
+//
+// One-way delay splits the link RTT so the two legs of a request/response
+// pair sum to durOf(RTT) exactly: requests (and plain one-way sends)
+// travel the floor half, responses the remainder. Computing either leg as
+// durOf(rtt/2) would truncate each leg independently and make a measured
+// round trip fall short of the matrix entry by a nanosecond on odd-valued
+// latencies.
 func (r *Runtime) send(env Envelope) {
 	r.Metrics.MsgsSent++
 	if r.cfg.LossProb > 0 && r.lossSrc.Bool(r.cfg.LossProb) {
 		r.Metrics.MsgsLost++
 		return
 	}
-	oneWay := durOf(r.RTTms(env.From, env.To) / 2)
+	rtt := durOf(r.RTTms(env.From, env.To))
+	oneWay := rtt / 2
+	if env.Resp {
+		oneWay = rtt - rtt/2
+	}
 	r.Kernel.After(oneWay, func() {
 		dst := r.nodes[env.To]
 		if dst == nil || !dst.alive {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/latency"
+	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
 )
 
@@ -63,6 +64,69 @@ func TestPingMeasuresMatrixRTT(t *testing.T) {
 	}
 	if rt.Metrics.QueryProbes != 1 || rt.Metrics.MaintProbes != 0 {
 		t.Fatalf("probe accounting %+v", rt.Metrics)
+	}
+}
+
+// The documented transport invariant: a ping measured over messages equals
+// the matrix entry exactly, for every latency representable at nanosecond
+// resolution — including odd-valued ones, where pricing each leg as
+// durOf(rtt/2) truncated half a nanosecond per leg and came back short.
+func TestPingRTTEqualsMatrixEntryExactly(t *testing.T) {
+	odd := []float64{3, 5.000001, 7.777777, 0.000003, 86.400001, 249.999999}
+	m := latency.NewDense(len(odd) + 1)
+	for i, ms := range odd {
+		m.Set(0, i+1, ms)
+	}
+	kernel := sim.New()
+	rt := New(kernel, m, Config{RPCTimeout: time.Second}, 1)
+	a := rt.AddNode(0)
+	for i := range odd {
+		rt.AddNode(NodeID(i + 1))
+	}
+	got := make([]float64, len(odd))
+	for i := range odd {
+		i := i
+		a.Ping(NodeID(i+1), 0, false, func(ms float64, ok bool) {
+			if !ok {
+				t.Errorf("ping %d timed out", i)
+			}
+			got[i] = ms
+		})
+	}
+	kernel.Run()
+	for i, ms := range odd {
+		if got[i] != m.LatencyMs(0, i+1) {
+			t.Errorf("latency %v ms measured as %v over the wire", ms, got[i])
+		}
+	}
+}
+
+// Property form of the invariant: any whole-nanosecond RTT survives the
+// float64 ms round trip through the transport bit-exactly.
+func TestPingRTTInvariantProperty(t *testing.T) {
+	src := rng.New(77)
+	const pairs = 200
+	m := latency.NewDense(pairs + 1)
+	want := make([]float64, pairs)
+	for i := 0; i < pairs; i++ {
+		ns := src.Int63n(400_000_000) + 1 // up to 400 ms, odd and even alike
+		want[i] = float64(ns) / 1e6
+		m.Set(0, i+1, want[i])
+	}
+	kernel := sim.New()
+	rt := New(kernel, m, Config{RPCTimeout: time.Second}, 1)
+	a := rt.AddNode(0)
+	got := make([]float64, pairs)
+	for i := 0; i < pairs; i++ {
+		i := i
+		rt.AddNode(NodeID(i + 1))
+		a.Ping(NodeID(i+1), 0, false, func(ms float64, ok bool) { got[i] = ms })
+	}
+	kernel.Run()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rtt %v measured as %v (Δ %g ns)", want[i], got[i], (got[i]-want[i])*1e6)
+		}
 	}
 }
 

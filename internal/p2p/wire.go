@@ -1,21 +1,12 @@
-// Package p2p is a message-level node runtime on the discrete-event kernel:
-// the repository's algorithms, which elsewhere run as synchronous function
-// calls against a probe-counting latency matrix, here run as protocols —
-// typed wire envelopes between per-node inboxes, request/response
-// correlation through an inflight map, per-RPC timeouts, configurable
-// packet loss, and a churn generator that drives membership over virtual
-// time. The point is to re-measure the paper's cost claims under the
-// dynamics real p2p systems have: under the clustering condition a search
-// already degenerates into brute-force probing, and loss, timeouts and
-// churn only raise the price of every probe.
-//
-// The runtime is deliberately single-goroutine: all sends, deliveries,
-// timeouts and handler executions are events on one sim.Sim kernel, so a
-// fixed seed replays the exact event order (and `go test -race` has nothing
-// to find by construction).
+// Wire format and runtime-wide configuration (the package doc lives in
+// doc.go).
+
 package p2p
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // NodeID identifies a runtime node. IDs are indices into the underlying
 // latency.Matrix, so any matrix row can be brought up as a node.
@@ -83,9 +74,13 @@ func DefaultConfig() Config {
 	return Config{LossProb: 0, RPCTimeout: 2 * time.Second}
 }
 
-// durOf converts float64 milliseconds to a virtual-time duration.
+// durOf converts float64 milliseconds to a virtual-time duration, rounding
+// to the nearest nanosecond: truncation would shave a nanosecond off
+// latencies whose float image lands just under an integer, breaking the
+// round-trip-equals-matrix-entry invariant for values that ARE exactly
+// representable in nanoseconds.
 func durOf(ms float64) time.Duration {
-	return time.Duration(ms * float64(time.Millisecond))
+	return time.Duration(math.Round(ms * float64(time.Millisecond)))
 }
 
 // msOf converts a virtual-time duration to float64 milliseconds.

@@ -13,7 +13,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
 	"nearestpeer/internal/dht"
 	"nearestpeer/internal/measure"
@@ -108,16 +107,19 @@ func New(tools *measure.Tools, dhtNodes []string, anchors []netmodel.HostID, cfg
 // TrackDepth distinct responding routers on traceroutes from the peer
 // toward the anchors, with the peer's (measured) RTT to each. Anonymous
 // routers are invisible — a real false-negative source the model preserves.
-func (s *System) ComputeUCL(peer netmodel.HostID) []Published {
+// It is a package-level function because both the static System and the
+// message-level Wire deployment compute the list the same way (running a
+// traceroute is local to the peer either way; only publishing differs).
+func ComputeUCL(tools *measure.Tools, anchors []netmodel.HostID, cfg Config, peer netmodel.HostID) []Published {
 	var out []Published
 	seen := make(map[netmodel.RouterID]bool)
-	for i := 0; i < s.cfg.Anchors && i < len(s.anchors); i++ {
-		anchor := s.anchors[i]
+	for i := 0; i < cfg.Anchors && i < len(anchors); i++ {
+		anchor := anchors[i]
 		if anchor == peer {
 			continue
 		}
-		for _, hop := range s.tools.Traceroute(peer, anchor) {
-			if len(out) >= s.cfg.TrackDepth {
+		for _, hop := range tools.Traceroute(peer, anchor) {
+			if len(out) >= cfg.TrackDepth {
 				break
 			}
 			if hop.Router == netmodel.NoRouter || seen[hop.Router] {
@@ -129,11 +131,17 @@ func (s *System) ComputeUCL(peer netmodel.HostID) []Published {
 				Entry:  Entry{Peer: peer, RTTms: netmodel.Ms(hop.RTT)},
 			})
 		}
-		if len(out) >= s.cfg.TrackDepth {
+		if len(out) >= cfg.TrackDepth {
 			break
 		}
 	}
 	return out
+}
+
+// ComputeUCL determines the peer's upstream connectivity list with the
+// system's tools, anchors and config.
+func (s *System) ComputeUCL(peer netmodel.HostID) []Published {
+	return ComputeUCL(s.tools, s.anchors, s.cfg, peer)
 }
 
 // Join publishes a peer's UCL mappings into the DHT.
@@ -177,10 +185,6 @@ func (s *System) FindNearest(peer netmodel.HostID) Result {
 	own := s.ComputeUCL(peer)
 	res := Result{Peer: -1, RTTms: math.Inf(1)}
 
-	type cand struct {
-		peer netmodel.HostID
-		est  float64
-	}
 	best := make(map[netmodel.HostID]float64) // peer -> best estimate
 	for _, p := range own {
 		vals := s.ring.Get(routerKey(p.Router))
@@ -198,20 +202,11 @@ func (s *System) FindNearest(peer netmodel.HostID) Result {
 	}
 	res.Candidates = len(best)
 
-	cands := make([]cand, 0, len(best))
-	for p, est := range best {
-		if est > s.cfg.EstimateCutoffMs {
-			res.Discarded++
-			continue
-		}
-		cands = append(cands, cand{peer: p, est: est})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].est != cands[j].est {
-			return cands[i].est < cands[j].est
-		}
-		return cands[i].peer < cands[j].peer
-	})
+	// rankHintCands (shared with the wire deployment) applies the cutoff
+	// and the est-then-peer order, so the static baseline and the
+	// message-level run probe the same candidates in the same order.
+	cands := rankHintCands(best, s.cfg)
+	res.Discarded = res.Candidates - len(cands)
 
 	limit := s.cfg.MaxProbes
 	if limit <= 0 || limit > len(cands) {

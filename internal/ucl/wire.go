@@ -1,0 +1,188 @@
+// Wire deployment of the UCL mitigation: the same upstream-router hint
+// scheme as System, but the key-value map is the message-level Chord DHT
+// (internal/p2p) hosted by the peers themselves, publishing is a sequence
+// of wire Puts, lookups are iterative wire Gets, and candidate probing is
+// pings over the runtime — so every cost the static simulation counts as
+// one probe or one hop is re-priced by a wire that can lose, delay, and
+// time out, and hint entries can go stale when their publisher churns out.
+
+package ucl
+
+import (
+	"sort"
+	"time"
+
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/p2p"
+)
+
+// Wire is a deployed message-level UCL service. The hosts slice fixes the
+// HostID ↔ runtime NodeID mapping: node i of the runtime's latency matrix
+// is hosts[i]. All hosts are expected to be Chord members; entries naming
+// peers outside the mapping are discarded at query time.
+type Wire struct {
+	cfg     Config
+	tools   *measure.Tools
+	chord   *p2p.Chord
+	hosts   []netmodel.HostID
+	index   map[netmodel.HostID]p2p.NodeID
+	anchors []netmodel.HostID
+	// PingTimeout bounds each candidate probe; 0 uses the runtime default.
+	PingTimeout time.Duration
+}
+
+// NewWire creates the wire deployment over an existing Chord instance.
+func NewWire(tools *measure.Tools, chord *p2p.Chord, hosts []netmodel.HostID, anchors []netmodel.HostID, cfg Config) *Wire {
+	if len(anchors) == 0 {
+		panic("ucl: need at least one anchor")
+	}
+	index := make(map[netmodel.HostID]p2p.NodeID, len(hosts))
+	for i, h := range hosts {
+		index[h] = p2p.NodeID(i)
+	}
+	return &Wire{cfg: cfg, tools: tools, chord: chord, hosts: hosts, index: index, anchors: anchors}
+}
+
+// NodeOf maps a host to its runtime node id.
+func (w *Wire) NodeOf(peer netmodel.HostID) p2p.NodeID { return w.index[peer] }
+
+// Publish computes the peer's UCL locally (traceroutes are the peer's own
+// business) and stores each router→peer mapping in the DHT as wire Puts.
+// done receives how many of the mappings were acknowledged stored.
+func (w *Wire) Publish(peer netmodel.HostID, done func(stored int)) {
+	pubs := ComputeUCL(w.tools, w.anchors, w.cfg, peer)
+	node := w.NodeOf(peer)
+	stored := 0
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(pubs) {
+			if done != nil {
+				done(stored)
+			}
+			return
+		}
+		w.chord.Put(node, routerKey(pubs[i].Router), pubs[i].Entry.encode(), func(r p2p.OpResult) {
+			if r.OK {
+				stored++
+			}
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// WireResult reports a message-level UCL query's outcome and cost.
+type WireResult struct {
+	// Peer is the closest responsive candidate found (-1 if none).
+	Peer netmodel.HostID
+	// RTTms is the wire-measured RTT to Peer.
+	RTTms float64
+	// Candidates is how many distinct peers the DHT returned.
+	Candidates int
+	// Discarded counts candidates dropped by the latency estimate without
+	// probing.
+	Discarded int
+	// Probes counts candidate pings issued (paid whether or not answered).
+	Probes int
+	// DeadProbes counts pings that timed out — stale hints whose publisher
+	// was down, or probe loss.
+	DeadProbes int
+	// Lookups counts DHT Gets issued; LookupFails those that never
+	// resolved an owner; Hops and Retries aggregate their routing cost.
+	Lookups     int
+	LookupFails int
+	Hops        int
+	Retries     int
+	// Found reports whether any candidate answered.
+	Found bool
+}
+
+// FindNearest runs the UCL query for peer over the wire: compute its UCL
+// locally, fetch the peers sharing each of those routers from the DHT,
+// estimate latencies via the shared router, discard the certainly-far,
+// ping the rest over the runtime, return the closest responder. done fires
+// exactly once (the issuing node is assumed to stay up for the query).
+func (w *Wire) FindNearest(peer netmodel.HostID, done func(WireResult)) {
+	own := ComputeUCL(w.tools, w.anchors, w.cfg, peer)
+	node := w.NodeOf(peer)
+	res := WireResult{Peer: -1}
+	best := make(map[netmodel.HostID]float64)
+
+	probe := func(cands []hintCand) {
+		ids := make([]p2p.NodeID, len(cands))
+		for i, c := range cands {
+			ids[i] = w.index[c.peer]
+		}
+		w.chord.Runtime().Node(node).SweepPing(ids, w.PingTimeout, func(s p2p.PingSweep) {
+			res.Probes, res.DeadProbes, res.Found = s.Probes, s.Dead, s.Found
+			if s.Found {
+				res.Peer, res.RTTms = w.hosts[int(s.Best)], s.BestRTT
+			}
+			done(res)
+		})
+	}
+
+	var get func(i int)
+	get = func(i int) {
+		if i >= len(own) {
+			res.Candidates = len(best)
+			kept := rankHintCands(best, w.cfg)
+			res.Discarded = res.Candidates - len(kept)
+			if w.cfg.MaxProbes > 0 && len(kept) > w.cfg.MaxProbes {
+				kept = kept[:w.cfg.MaxProbes]
+			}
+			probe(kept)
+			return
+		}
+		p := own[i]
+		res.Lookups++
+		w.chord.Get(node, routerKey(p.Router), func(r p2p.OpResult) {
+			res.Hops += r.Hops
+			res.Retries += r.Retries
+			res.LookupFails += r.LookupFails
+			if r.OK {
+				for _, v := range r.Vals {
+					e, err := decodeEntry(v)
+					if err != nil || e.Peer == peer {
+						continue
+					}
+					if _, known := w.index[e.Peer]; !known {
+						continue
+					}
+					est := e.RTTms + p.Entry.RTTms
+					if old, ok := best[e.Peer]; !ok || est < old {
+						best[e.Peer] = est
+					}
+				}
+			}
+			get(i + 1)
+		})
+	}
+	get(0)
+}
+
+// hintCand is one retrieved candidate with its router-sum latency estimate.
+type hintCand struct {
+	peer netmodel.HostID
+	est  float64
+}
+
+// rankHintCands applies the estimate cutoff, closest estimate first (the
+// probe cap is applied by the caller so it can count the cutoff discards).
+func rankHintCands(best map[netmodel.HostID]float64, cfg Config) []hintCand {
+	cands := make([]hintCand, 0, len(best))
+	for p, est := range best {
+		if est > cfg.EstimateCutoffMs {
+			continue
+		}
+		cands = append(cands, hintCand{peer: p, est: est})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].est != cands[j].est {
+			return cands[i].est < cands[j].est
+		}
+		return cands[i].peer < cands[j].peer
+	})
+	return cands
+}
