@@ -224,3 +224,25 @@ func BenchmarkMitigationStudy(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkScaleStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ScaleStudy(benchScale(), benchSeed)
+		if i == 0 {
+			report("scale-s1", r.Render())
+		}
+	}
+}
+
+// BenchmarkScaleStudySmoke is the CI smoke slice of s1: a 1k-host
+// population, all three algorithms, few queries. CI runs it at
+// -benchtime=1x so a regression in the engine or any scale algorithm
+// fails the build without paying for the full sweep.
+func BenchmarkScaleStudySmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ScaleStudyAt([]int{1000}, 20, benchSeed)
+		if i == 0 {
+			report("scale-s1-smoke", r.Render())
+		}
+	}
+}

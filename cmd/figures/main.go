@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"nearestpeer/internal/engine"
 	"nearestpeer/internal/experiments"
 )
 
@@ -16,9 +17,11 @@ func main() {
 	full := flag.Bool("full", false, "run at the paper's full population sizes (slow)")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	outDir := flag.String("out", "", "directory to write per-figure text files")
-	only := flag.String("only", "", "run a single experiment (e.g. fig8, table1, a3)")
+	only := flag.String("only", "", "run a single experiment (e.g. fig8, table1, a3, s1)")
+	workers := flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS); figures are byte-identical at any width")
 	flag.Parse()
 
+	engine.SetWorkers(*workers)
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full
@@ -29,6 +32,10 @@ func main() {
 		run  func() string
 	}
 	env := func() *experiments.Env { return experiments.SharedEnv(scale, *seed) }
+	// s1's wall-clock view is printed to the terminal but never written to
+	// the figure file: elapsed time is not deterministic, and figure files
+	// must be byte-identical across -workers.
+	var s1Timing string
 	list := []experiment{
 		{"table1", func() string { return experiments.Table1(env()).Render() }},
 		{"fig3", func() string { return experiments.Fig3(env()).Render() }},
@@ -48,6 +55,11 @@ func main() {
 		{"a6", func() string { return experiments.AblationRingSize(scale, *seed).Render() }},
 		{"c1", func() string { return experiments.ChurnStudy(scale, *seed).Render() }},
 		{"c2", func() string { return experiments.MitigationStudy(scale, *seed).Render() }},
+		{"s1", func() string {
+			r := experiments.ScaleStudy(scale, *seed)
+			s1Timing = r.RenderTiming()
+			return r.Render()
+		}},
 	}
 
 	if *outDir != "" {
@@ -63,6 +75,9 @@ func main() {
 		start := time.Now()
 		text := e.run()
 		fmt.Printf("==== %s (scale=%s, %v) ====\n%s\n", e.name, scale, time.Since(start).Round(time.Millisecond), text)
+		if e.name == "s1" && s1Timing != "" {
+			fmt.Println(s1Timing)
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, e.name+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {

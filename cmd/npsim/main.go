@@ -3,7 +3,9 @@
 // query count, and get exact-closest / correct-cluster rates with probe
 // costs — the interactive companion to Figures 8 and 9. With -runtime the
 // Meridian search runs as a message protocol on internal/p2p instead of
-// as function calls, and -loss / -churn put the wire in the way.
+// as function calls, and -loss / -churn put the wire in the way. With
+// -scale N the s1 scale study runs all three scale algorithms at an
+// N-host population, fanned out over -workers engine workers.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"os"
 
 	"nearestpeer/internal/beacon"
+	"nearestpeer/internal/engine"
 	"nearestpeer/internal/experiments"
 	"nearestpeer/internal/kargerruhl"
 	"nearestpeer/internal/latency"
@@ -38,7 +41,21 @@ func main() {
 	runtime := flag.Bool("runtime", false, "run over the internal/p2p message runtime (meridian, ucl, ipprefix, chord)")
 	loss := flag.Float64("loss", 0, "one-way packet loss probability (requires -runtime)")
 	churn := flag.Bool("churn", false, "drive membership churn during queries (requires -runtime)")
+	scaleN := flag.Int("scale", 0, "run the s1 scale study at this host population (all three algorithms) and exit")
+	workers := flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS); results are byte-identical at any width")
 	flag.Parse()
+
+	engine.SetWorkers(*workers)
+	if *scaleN > 0 {
+		algoSet := false
+		flag.Visit(func(f *flag.Flag) { algoSet = algoSet || f.Name == "algo" })
+		if *runtime || *loss != 0 || *churn || algoSet {
+			fmt.Fprintln(os.Stderr, "-scale runs its own fixed algorithm set; -algo/-runtime/-loss/-churn do not apply")
+			os.Exit(2)
+		}
+		runScaleStudy(*scaleN, *queries, *seed)
+		return
+	}
 
 	if *runtime {
 		if *loss < 0 || *loss > 1 {
@@ -159,6 +176,22 @@ func main() {
 	fmt.Printf("P(correct cluster)      = %.3f\n", float64(inCluster)/n)
 	fmt.Printf("mean probes per query   = %.1f\n", float64(probes)/n)
 	fmt.Printf("mean hops per query     = %.1f\n", float64(hops)/n)
+}
+
+// runScaleStudy runs the s1 scale study at one population: the static
+// Meridian walk, the expanding-ring search and the wire Chord DHT over one
+// generated topology, fanned out across the engine worker pool.
+func runScaleStudy(hosts, queries int, seed int64) {
+	const maxQueries = 500
+	if queries > maxQueries {
+		fmt.Fprintf(os.Stderr, "note: -queries capped at %d for -scale runs (asked for %d)\n", maxQueries, queries)
+		queries = maxQueries
+	}
+	fmt.Printf("s1 scale study: %d hosts (nominal), %d queries/algorithm, %d workers\n\n",
+		hosts, queries, engine.Workers(0))
+	r := experiments.ScaleStudyAt([]int{hosts}, queries, seed)
+	fmt.Println(r.Render())
+	fmt.Println(r.RenderTiming())
 }
 
 // runWireMitigation resolves nearest-peer queries through a Section 5 hint

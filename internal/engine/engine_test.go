@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// trialWork is a deliberately stateful trial: it burns randomness and runs
+// a small event cascade on the trial kernel, so any cross-trial sharing or
+// order dependence would show up as different numbers.
+func trialWork(t *Trial) string {
+	total := 0.0
+	for i := 0; i < 100; i++ {
+		total += t.RNG.Float64()
+	}
+	events := 0
+	var tick func()
+	tick = func() {
+		events++
+		if events < 50 {
+			t.Kernel.After(time.Duration(1+t.RNG.Intn(5))*time.Millisecond, tick)
+		}
+	}
+	t.Kernel.After(0, tick)
+	end := t.Kernel.Run()
+	return fmt.Sprintf("trial=%d seed=%d sum=%.6f events=%d end=%v", t.Index, t.Seed, total, events, end)
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 64
+	serial := Run(Config{Workers: 1, Seed: 42}, n, trialWork)
+	parallel := Run(Config{Workers: 8, Seed: 42}, n, trialWork)
+	wide := Run(Config{Workers: 32, Seed: 42}, n, trialWork)
+	for i := 0; i < n; i++ {
+		if serial[i] != parallel[i] || serial[i] != wide[i] {
+			t.Fatalf("trial %d diverged across worker counts:\n  w=1:  %s\n  w=8:  %s\n  w=32: %s",
+				i, serial[i], parallel[i], wide[i])
+		}
+	}
+}
+
+func TestRunSeedChangesResults(t *testing.T) {
+	a := Run(Config{Workers: 4, Seed: 1}, 8, trialWork)
+	b := Run(Config{Workers: 4, Seed: 2}, 8, trialWork)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical trials")
+	}
+}
+
+func TestTrialStreamsIndependent(t *testing.T) {
+	draws := Run(Config{Workers: 4, Seed: 7}, 16, func(tr *Trial) float64 {
+		return tr.RNG.Float64()
+	})
+	seen := map[float64]int{}
+	for i, d := range draws {
+		if j, dup := seen[d]; dup {
+			t.Fatalf("trials %d and %d drew the same first value %v", j, i, d)
+		}
+		seen[d] = i
+	}
+}
+
+func TestLabelSplitsStreams(t *testing.T) {
+	a := Run(Config{Workers: 1, Seed: 7, Label: "alpha"}, 4, func(tr *Trial) float64 { return tr.RNG.Float64() })
+	b := Run(Config{Workers: 1, Seed: 7, Label: "beta"}, 4, func(tr *Trial) float64 { return tr.RNG.Float64() })
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("distinct labels produced identical streams")
+	}
+}
+
+func TestMapPreservesItemOrder(t *testing.T) {
+	items := []int{10, 20, 30, 40, 50, 60, 70, 80}
+	out := Map(Config{Workers: 4, Seed: 1}, items, func(tr *Trial, item int) int {
+		return item + tr.Index // item i must pair with trial index i
+	})
+	for i, v := range out {
+		if v != items[i]+i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, items[i]+i)
+		}
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	if out := Run(Config{Seed: 1}, 0, trialWork); out != nil {
+		t.Fatalf("0 trials returned %v", out)
+	}
+	if out := Map(Config{Seed: 1}, []int(nil), func(*Trial, int) int { return 0 }); out != nil {
+		t.Fatalf("empty Map returned %v", out)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		tp, ok := r.(*TrialPanic)
+		if !ok {
+			t.Fatalf("panic value is %T, want *TrialPanic (original value must stay inspectable)", r)
+		}
+		// The lowest-index failing trial is reported, as a serial run
+		// would have hit it first; the original value and the trial's own
+		// stack both survive.
+		if tp.Index != 3 || tp.Value != "boom 3" {
+			t.Fatalf("unexpected panic payload: %+v", tp)
+		}
+		if !strings.Contains(string(tp.Stack), "engine_test") {
+			t.Fatalf("trial stack lost:\n%s", tp.Stack)
+		}
+		if msg := tp.Error(); !strings.Contains(msg, "trial 3 panicked") || !strings.Contains(msg, "boom") {
+			t.Fatalf("unexpected panic message: %s", msg)
+		}
+	}()
+	Run(Config{Workers: 4, Seed: 1}, 16, func(tr *Trial) int {
+		if tr.Index == 3 || tr.Index == 11 {
+			panic(fmt.Sprintf("boom %d", tr.Index))
+		}
+		return tr.Index
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker count not honoured")
+	}
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers(0) != 3 {
+		t.Fatal("SetWorkers default not used")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("explicit count must beat the default")
+	}
+	SetWorkers(0)
+	if Workers(0) < 1 {
+		t.Fatal("GOMAXPROCS fallback returned < 1")
+	}
+}
+
+func TestSetWorkersAffectsRun(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	a := Run(Config{Seed: 5}, 32, trialWork) // Workers 0 → default 8
+	SetWorkers(1)
+	b := Run(Config{Seed: 5}, 32, trialWork)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs between default-8 and default-1 pools", i)
+		}
+	}
+}

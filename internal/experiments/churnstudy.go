@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"nearestpeer/internal/engine"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
 	"nearestpeer/internal/overlay"
@@ -207,7 +208,6 @@ func runStaticMeridian(m latency.Matrix, gt *latency.GroundTruth, members, targe
 	}
 	n := float64(queries)
 	return ChurnRow{
-		Name:       "static (function calls)",
 		PExact:     float64(exact) / n,
 		PCluster:   float64(inCluster) / n,
 		Done:       1,
@@ -236,6 +236,9 @@ func churnStudyParams(s Scale) (peers, targets, queries int) {
 }
 
 // ChurnStudy runs the comparison on the paper's default clustered matrix.
+// The five conditions share the matrix, ground truth and member split —
+// all read-only — and otherwise build their own kernel, runtime and
+// overlay, so they fan out as engine trials and merge in condition order.
 func ChurnStudy(scale Scale, seed int64) *ChurnStudyResult {
 	peers, nTargets, queries := churnStudyParams(scale)
 	cfg := latency.DefaultClusteredConfig()
@@ -249,24 +252,36 @@ func ChurnStudy(scale Scale, seed int64) *ChurnStudyResult {
 		ENsPerCluster: cfg.ENsPerCluster,
 		Delta:         cfg.Delta,
 	}
-	out.Rows = append(out.Rows, runStaticMeridian(m, gt, members, targets, queries, seed))
-	for _, c := range []struct {
-		name  string
-		loss  float64
-		churn bool
-	}{
-		{"messages, loss=0%", 0, false},
-		{"messages, loss=5%", 0.05, false},
-		{"messages, churn", 0, true},
-		{"messages, loss=5% + churn", 0.05, true},
-	} {
-		row := RunMessageMeridian(m, gt, members, targets, RuntimeOpts{
-			Loss: c.loss, Churn: c.churn, Queries: queries, Seed: seed,
-		})
-		row.Name = c.name
-		out.Rows = append(out.Rows, row)
+	conditions := []wireCondition{
+		{name: "static (function calls)", static: true},
+		{name: "messages, loss=0%"},
+		{name: "messages, loss=5%", loss: 0.05},
+		{name: "messages, churn", churn: true},
+		{name: "messages, loss=5% + churn", loss: 0.05, churn: true},
 	}
+	out.Rows = engine.Map(engine.Config{Seed: seed, Label: "churnstudy"}, conditions,
+		func(_ *engine.Trial, c wireCondition) ChurnRow {
+			var row ChurnRow
+			if c.static {
+				row = runStaticMeridian(m, gt, members, targets, queries, seed)
+			} else {
+				row = RunMessageMeridian(m, gt, members, targets, RuntimeOpts{
+					Loss: c.loss, Churn: c.churn, Queries: queries, Seed: seed,
+				})
+			}
+			row.Name = c.name
+			return row
+		})
 	return out
+}
+
+// wireCondition is one study row's wire setting, shared by the c1 and c2
+// condition tables.
+type wireCondition struct {
+	name   string
+	static bool
+	loss   float64
+	churn  bool
 }
 
 // Render prints the comparison table.

@@ -26,6 +26,7 @@ const (
 	Full
 )
 
+// String names the scale for figure headers and flags.
 func (s Scale) String() string {
 	if s == Full {
 		return "full"

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"nearestpeer/internal/engine"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
 	"nearestpeer/internal/overlay"
@@ -98,19 +99,32 @@ type Fig8Result struct {
 	Delta  float64
 }
 
-// Fig8 sweeps the number of end-networks per cluster.
+// Fig8 sweeps the number of end-networks per cluster. Every (cluster-size,
+// run) pair is one independent simulation — its matrix, overlay and query
+// stream derive only from its own seed — so the grid fans out across the
+// engine worker pool and the merged figure is identical at any -workers.
 func Fig8(scale Scale, seed int64) *Fig8Result {
 	peers, targets, queries, runs := scaleParams(scale)
 	out := &Fig8Result{Delta: 0.2}
-	for _, ens := range []int{5, 25, 50, 125, 250} {
+	ensSweep := []int{5, 25, 50, 125, 250}
+	type cell struct{ ens, run int }
+	var cells []cell
+	for _, ens := range ensSweep {
+		for r := 0; r < runs; r++ {
+			cells = append(cells, cell{ens, r})
+		}
+	}
+	results := engine.Map(engine.Config{Seed: seed, Label: "fig8"}, cells, func(_ *engine.Trial, c cell) meridianRun {
 		cfg := latency.DefaultClusteredConfig()
-		cfg.ENsPerCluster = ens
+		cfg.ENsPerCluster = c.ens
 		cfg.TotalPeers = peers
 		cfg.Delta = out.Delta
+		return simulateMeridian(cfg, meridian.DefaultConfig(), targets, queries, seed+int64(1000*c.ens+c.run))
+	})
+	for i, ens := range ensSweep {
 		var pe, pc []float64
 		var probes float64
-		for r := 0; r < runs; r++ {
-			run := simulateMeridian(cfg, meridian.DefaultConfig(), targets, queries, seed+int64(1000*ens+r))
+		for _, run := range results[i*runs : (i+1)*runs] {
 			pe = append(pe, run.pExact)
 			pc = append(pc, run.pCluster)
 			probes += run.meanProbes
@@ -155,19 +169,33 @@ type Fig9Result struct {
 	Points        []Fig9Point
 }
 
-// Fig9 sweeps δ at 125 end-networks per cluster.
+// Fig9 sweeps δ at 125 end-networks per cluster, fanning the (δ, run) grid
+// out across the engine pool like Fig8.
 func Fig9(scale Scale, seed int64) *Fig9Result {
 	peers, targets, queries, runs := scaleParams(scale)
 	out := &Fig9Result{ENsPerCluster: 125}
-	for _, delta := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+	deltaSweep := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	type cell struct {
+		delta float64
+		run   int
+	}
+	var cells []cell
+	for _, delta := range deltaSweep {
+		for r := 0; r < runs; r++ {
+			cells = append(cells, cell{delta, r})
+		}
+	}
+	results := engine.Map(engine.Config{Seed: seed, Label: "fig9"}, cells, func(_ *engine.Trial, c cell) meridianRun {
 		cfg := latency.DefaultClusteredConfig()
 		cfg.ENsPerCluster = out.ENsPerCluster
 		cfg.TotalPeers = peers
-		cfg.Delta = delta
+		cfg.Delta = c.delta
+		return simulateMeridian(cfg, meridian.DefaultConfig(), targets, queries, seed+int64(10000*c.delta)+int64(c.run))
+	})
+	for i, delta := range deltaSweep {
 		var pe, hl []float64
 		var probes float64
-		for r := 0; r < runs; r++ {
-			run := simulateMeridian(cfg, meridian.DefaultConfig(), targets, queries, seed+int64(10000*delta)+int64(r))
+		for _, run := range results[i*runs : (i+1)*runs] {
 			pe = append(pe, run.pExact)
 			hl = append(hl, run.meanHubLat)
 			probes += run.meanProbes

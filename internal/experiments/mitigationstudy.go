@@ -5,8 +5,10 @@ import (
 	"strings"
 	"time"
 
+	"nearestpeer/internal/engine"
 	"nearestpeer/internal/ipprefix"
 	"nearestpeer/internal/latency"
+	"nearestpeer/internal/measure"
 	"nearestpeer/internal/netmodel"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
@@ -40,13 +42,16 @@ const (
 )
 
 // chordJoinRamp schedules the staggered joins and returns the virtual time
-// of the last one.
-func chordJoinRamp(kernel *sim.Sim, chord *p2p.Chord, ids []p2p.NodeID) time.Duration {
+// of the last one. spacing <= 0 uses the default chordJoinSpacing.
+func chordJoinRamp(kernel *sim.Sim, chord *p2p.Chord, ids []p2p.NodeID, spacing time.Duration) time.Duration {
+	if spacing <= 0 {
+		spacing = chordJoinSpacing
+	}
 	for i := range ids {
 		id := ids[i]
-		kernel.After(time.Duration(i)*chordJoinSpacing, func() { chord.Join(id) })
+		kernel.After(time.Duration(i)*spacing, func() { chord.Join(id) })
 	}
-	return time.Duration(len(ids)) * chordJoinSpacing
+	return time.Duration(len(ids)) * spacing
 }
 
 // sequenceOps is the shared sequential-operation driver of the wire
@@ -108,6 +113,11 @@ type MitigationOpts struct {
 	Seed int64
 	// Horizon caps virtual time as a watchdog (default 2 h).
 	Horizon time.Duration
+	// Tools overrides the measurement toolkit (probe noise stream). Leave
+	// nil to use the environment's shared toolkit; MitigationStudy gives
+	// every row its own so rows never contend for one noise stream and can
+	// run as parallel engine trials.
+	Tools *measure.Tools
 }
 
 // MitigationRow is one condition's scores, static or message-level.
@@ -165,8 +175,15 @@ func mitigationParams(s Scale) (peers, queries int) {
 
 // RunStaticMitigation runs the function-call baseline for a scheme on the
 // environment's topology: one probe-counting query per target, scored
-// against the true nearest peer.
+// against the true nearest peer. Probes draw from the environment's shared
+// toolkit; see runStaticMitigationTools for a caller-supplied one.
 func RunStaticMitigation(env *Env, scheme string, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	return runStaticMitigationTools(env, env.Tools, scheme, peers, queries, seed)
+}
+
+// runStaticMitigationTools is RunStaticMitigation with an explicit
+// measurement toolkit, so parallel study rows each own their noise stream.
+func runStaticMitigationTools(env *Env, tools *measure.Tools, scheme string, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
 	addrs := make([]string, len(peers))
 	for i, p := range peers {
 		addrs[i] = env.Top.Host(p).IP.String()
@@ -176,7 +193,7 @@ func RunStaticMitigation(env *Env, scheme string, peers []netmodel.HostID, queri
 	var hops func() int64
 	switch scheme {
 	case "ucl":
-		sys := ucl.New(env.Tools, addrs, env.VantageHosts(), ucl.DefaultConfig())
+		sys := ucl.New(tools, addrs, env.VantageHosts(), ucl.DefaultConfig())
 		for _, p := range peers {
 			sys.Join(p)
 		}
@@ -186,7 +203,7 @@ func RunStaticMitigation(env *Env, scheme string, peers []netmodel.HostID, queri
 		}
 		hops = func() int64 { return sys.Ring().Hops }
 	case "ipprefix":
-		sys := ipprefix.New(env.Tools, addrs, ipprefix.DefaultConfig())
+		sys := ipprefix.New(tools, addrs, ipprefix.DefaultConfig())
 		for _, p := range peers {
 			sys.Join(p)
 		}
@@ -266,6 +283,10 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 	if opts.Horizon <= 0 {
 		opts.Horizon = 2 * time.Hour
 	}
+	tools := opts.Tools
+	if tools == nil {
+		tools = env.Tools
+	}
 	kernel := sim.New()
 	rt := p2p.New(kernel, &latency.TopologyMatrix{Top: env.Top, Hosts: peers}, p2p.Config{LossProb: opts.Loss}, opts.Seed)
 	ccfg := p2p.DefaultChordConfig()
@@ -282,7 +303,7 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 	var find func(h netmodel.HostID, done func(findScore))
 	switch opts.Scheme {
 	case "ucl":
-		w := ucl.NewWire(env.Tools, chord, peers, env.VantageHosts(), ucl.DefaultConfig())
+		w := ucl.NewWire(tools, chord, peers, env.VantageHosts(), ucl.DefaultConfig())
 		publish = func(h netmodel.HostID, done func()) {
 			w.Publish(h, func(int) {
 				if done != nil {
@@ -296,7 +317,7 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 			})
 		}
 	case "ipprefix":
-		w := ipprefix.NewWire(env.Tools, chord, peers, ipprefix.DefaultConfig())
+		w := ipprefix.NewWire(tools, chord, peers, ipprefix.DefaultConfig())
 		publish = func(h netmodel.HostID, done func()) {
 			w.Publish(h, func(bool) {
 				if done != nil {
@@ -319,7 +340,7 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 		index[h] = p2p.NodeID(i)
 		ids[i] = p2p.NodeID(i)
 	}
-	joinEnd := chordJoinRamp(kernel, chord, ids)
+	joinEnd := chordJoinRamp(kernel, chord, ids, 0)
 
 	var churn *p2p.Churn
 	if opts.Churn {
@@ -437,31 +458,47 @@ type MitigationStudyResult struct {
 }
 
 // MitigationStudy runs the comparison for both hint schemes on the shared
-// environment's topology.
+// environment's topology. Each of the ten (scheme, condition) rows is one
+// engine trial with its own kernel, runtime, Chord ring and measurement
+// toolkit (every row's toolkit replays the same noise stream, so rows stay
+// independent of one another's draw order); the topology is shared
+// read-only. Rows merge in (scheme, condition) order regardless of the
+// worker count.
 func MitigationStudy(scale Scale, seed int64) *MitigationStudyResult {
 	env := SharedEnv(scale, seed)
 	nPeers, queries := mitigationParams(scale)
 	peers := MitigationPeers(env, nPeers)
 	out := &MitigationStudyResult{Peers: len(peers), Queries: queries, ThresholdMs: mitigationNearMs}
+	type mitigationCell struct {
+		scheme string
+		cond   wireCondition
+	}
+	var cells []mitigationCell
 	for _, scheme := range []string{"ucl", "ipprefix"} {
-		out.Rows = append(out.Rows, RunStaticMitigation(env, scheme, peers, queries, seed))
-		for _, c := range []struct {
-			name  string
-			loss  float64
-			churn bool
-		}{
-			{"messages, loss=0%", 0, false},
-			{"messages, loss=5%", 0.05, false},
-			{"messages, churn", 0, true},
-			{"messages, loss=5% + churn", 0.05, true},
+		// The static baseline names itself inside runStaticMitigationTools.
+		cells = append(cells, mitigationCell{scheme, wireCondition{static: true}})
+		for _, c := range []wireCondition{
+			{name: "messages, loss=0%"},
+			{name: "messages, loss=5%", loss: 0.05},
+			{name: "messages, churn", churn: true},
+			{name: "messages, loss=5% + churn", loss: 0.05, churn: true},
 		} {
-			row := RunWireMitigation(env, peers, MitigationOpts{
-				Scheme: scheme, Loss: c.loss, Churn: c.churn, Queries: queries, Seed: seed,
-			})
-			row.Name = scheme + " " + c.name
-			out.Rows = append(out.Rows, row)
+			cells = append(cells, mitigationCell{scheme, c})
 		}
 	}
+	out.Rows = engine.Map(engine.Config{Seed: seed, Label: "mitigationstudy"}, cells,
+		func(_ *engine.Trial, c mitigationCell) MitigationRow {
+			tools := measure.NewTools(env.Top, measure.DefaultConfig(), seed+1)
+			if c.cond.static {
+				return runStaticMitigationTools(env, tools, c.scheme, peers, queries, seed)
+			}
+			row := RunWireMitigation(env, peers, MitigationOpts{
+				Scheme: c.scheme, Loss: c.cond.loss, Churn: c.cond.churn,
+				Queries: queries, Seed: seed, Tools: tools,
+			})
+			row.Name = c.scheme + " " + c.cond.name
+			return row
+		})
 	return out
 }
 

@@ -30,6 +30,19 @@ type WireChordOpts struct {
 	Seed int64
 	// Horizon caps virtual time as a watchdog (default 2 h).
 	Horizon time.Duration
+	// Chord overrides the protocol configuration when non-zero (detected
+	// by StabilizeEvery > 0). The scale study stretches the stabilize
+	// period with ring size: maintenance cost per virtual second is
+	// nodes/period, and a 100k ring on the 1 s default would spend the
+	// whole run stabilizing.
+	Chord p2p.ChordConfig
+	// JoinSpacing staggers the join ramp (default 10 ms between joins).
+	// Large rings shrink it so bring-up stays a bounded slice of the run.
+	JoinSpacing time.Duration
+	// Settle is the post-ramp convergence window before traffic starts
+	// (default 20 s). Rings with a stretched stabilize period need a few
+	// periods here.
+	Settle time.Duration
 }
 
 // WireChordRow reports the run.
@@ -48,6 +61,9 @@ type WireChordRow struct {
 	LookupFails int64
 	// Leaves and Joins count churn events.
 	Leaves, Joins int
+	// Events is the total kernel events executed, bring-up and maintenance
+	// included — the run's simulation cost.
+	Events uint64
 }
 
 // RunWireChord joins nodes into a ring over the matrix, lets it converge,
@@ -63,14 +79,21 @@ func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 	}
 	kernel := sim.New()
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
-	ccfg := p2p.DefaultChordConfig()
+	ccfg := opts.Chord
+	if ccfg.StabilizeEvery <= 0 {
+		ccfg = p2p.DefaultChordConfig()
+	}
 	ccfg.Horizon = opts.Horizon
 	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)
 	ids := make([]p2p.NodeID, n)
 	for i := range ids {
 		ids[i] = p2p.NodeID(i)
 	}
-	joinEnd := chordJoinRamp(kernel, chord, ids)
+	joinEnd := chordJoinRamp(kernel, chord, ids, opts.JoinSpacing)
+	settle := opts.Settle
+	if settle <= 0 {
+		settle = chordSettle
+	}
 
 	var churn *p2p.Churn
 	if opts.Churn {
@@ -126,7 +149,7 @@ func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 			})
 		})
 	})
-	kernel.At(joinEnd+chordSettle, func() {
+	kernel.At(joinEnd+settle, func() {
 		if churn != nil {
 			churn.Drive(ids)
 		}
@@ -147,6 +170,7 @@ func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 	row.MeanRetries = float64(retries) / nOps
 	row.MeanMsgs = float64(rt.Metrics.MsgsSent-msgsStart) / nOps
 	row.Timeouts = rt.Metrics.Timeouts
+	row.Events = kernel.Executed
 	if churn != nil {
 		row.Leaves, row.Joins = churn.Leaves, churn.Joins
 	}

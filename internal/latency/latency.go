@@ -102,7 +102,10 @@ func SyntheticMeridianDataset(n int, seed int64) *Dense {
 		}
 	}
 	m := NewDense(n)
-	var all []float64
+	// One allocation for the pair list: growing it by append doubling
+	// re-copies O(n²) floats and was measurable churn when parallel trials
+	// each build their own clustered matrix.
+	all := make([]float64, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			var ss float64

@@ -2,7 +2,7 @@ package p2p
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/rng"
@@ -89,25 +89,27 @@ func (r *Runtime) Alive(id NodeID) bool {
 }
 
 // JoinGroup subscribes a node to a named multicast group (the well-known
-// group of the Section 5 expanding search). Idempotent.
+// group of the Section 5 expanding search). Idempotent. Membership is kept
+// sorted by NodeID with a binary-search insert — O(log n) lookup, O(n)
+// insert — so registering a 100k-host population no longer re-sorts the
+// whole slice per join, and Multicast's delivery order stays stable
+// (ascending NodeID) no matter the join order.
 func (r *Runtime) JoinGroup(group string, id NodeID) {
-	for _, m := range r.groups[group] {
-		if m == id {
-			return
-		}
+	ms := r.groups[group]
+	i, ok := slices.BinarySearch(ms, id)
+	if ok {
+		return
 	}
-	r.groups[group] = append(r.groups[group], id)
-	sort.Slice(r.groups[group], func(i, j int) bool { return r.groups[group][i] < r.groups[group][j] })
+	r.groups[group] = slices.Insert(ms, i, id)
 }
 
 // LeaveGroup removes a node from a multicast group.
 func (r *Runtime) LeaveGroup(group string, id NodeID) {
 	ms := r.groups[group]
-	for i, m := range ms {
-		if m == id {
-			r.groups[group] = append(ms[:i:i], ms[i+1:]...)
-			return
-		}
+	if i, ok := slices.BinarySearch(ms, id); ok {
+		// The kernel is single-threaded and Multicast never runs user code
+		// mid-iteration, so deleting in place cannot disturb a delivery.
+		r.groups[group] = slices.Delete(ms, i, i+1)
 	}
 }
 

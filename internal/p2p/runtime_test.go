@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"slices"
 	"testing"
 	"time"
 
@@ -217,6 +218,56 @@ func TestMulticastScopesAndCounts(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("delivered to %v, want [1]", got)
+	}
+}
+
+func TestGroupMembershipSortedAndIdempotent(t *testing.T) {
+	_, rt := newTestRuntime(t, 8, 0)
+	for _, id := range []NodeID{5, 1, 7, 3, 1, 5, 0} { // duplicates on purpose
+		rt.AddNode(id)
+		rt.JoinGroup("g", id)
+	}
+	want := []NodeID{0, 1, 3, 5, 7}
+	if got := rt.groups["g"]; !slices.Equal(got, want) {
+		t.Fatalf("members %v, want sorted %v", got, want)
+	}
+	rt.LeaveGroup("g", 3)
+	rt.LeaveGroup("g", 3) // absent: no-op
+	rt.LeaveGroup("g", 6) // never joined: no-op
+	want = []NodeID{0, 1, 5, 7}
+	if got := rt.groups["g"]; !slices.Equal(got, want) {
+		t.Fatalf("after leaves %v, want %v", got, want)
+	}
+	rt.JoinGroup("g", 3) // re-join lands back in order
+	if got := rt.groups["g"]; !slices.Equal(got, []NodeID{0, 1, 3, 5, 7}) {
+		t.Fatalf("after re-join %v", got)
+	}
+}
+
+func TestMulticastDeliveryOrderStable(t *testing.T) {
+	// Delivery order must be ascending NodeID regardless of join order:
+	// the wire studies rely on it for deterministic replay.
+	join := [][]NodeID{{4, 1, 3, 2}, {1, 2, 3, 4}, {2, 4, 1, 3}}
+	var orders [][]NodeID
+	for _, ids := range join {
+		kernel, rt := newTestRuntime(t, 6, 0)
+		rt.AddNode(0)
+		for _, id := range ids {
+			rt.AddNode(id)
+			rt.JoinGroup("g", id)
+		}
+		var got []NodeID
+		for _, id := range ids {
+			rt.Node(id).Handle("hello", func(n *Node, env Envelope) { got = append(got, n.ID) })
+		}
+		rt.Multicast(0, "g", "hello", nil, 1000)
+		kernel.Run()
+		orders = append(orders, got)
+	}
+	for _, got := range orders[1:] {
+		if !slices.Equal(got, orders[0]) {
+			t.Fatalf("delivery order depends on join order: %v vs %v", orders[0], got)
+		}
 	}
 }
 

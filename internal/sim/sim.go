@@ -6,40 +6,79 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value in the queue
+// slice: the kernel is the hot path of every message-level experiment
+// (each wire message is at least one event), and a pointer-based
+// container/heap costs one allocation plus an interface boxing per event.
+// The value heap's only steady-state allocation is slice growth.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the queue order: time, then FIFO among simultaneous events.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq // FIFO among simultaneous events
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventQueue is a binary min-heap of events by (at, seq), stored by value.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the callback for GC
+	h = h[:n]
+	*q = h
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && h[r].before(&h[l]) {
+			child = r
+		}
+		if !h[child].before(&h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // Sim is a discrete-event simulator. It is not safe for concurrent use: all
 // scheduling happens from event callbacks or from the driving goroutine.
+// Concurrent experiments give every trial its own kernel (see
+// internal/engine) instead of sharing one.
 type Sim struct {
 	now     time.Duration
 	seq     uint64
@@ -51,9 +90,7 @@ type Sim struct {
 
 // New returns an empty simulator at time zero.
 func New() *Sim {
-	s := &Sim{}
-	heap.Init(&s.queue)
-	return s
+	return &Sim{}
 }
 
 // Now returns the current virtual time.
@@ -66,7 +103,7 @@ func (s *Sim) At(t time.Duration, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn after delay d.
@@ -85,7 +122,7 @@ func (s *Sim) Stop() { s.stopped = true }
 func (s *Sim) Run() time.Duration {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		s.now = e.at
 		s.Executed++
 		e.fn()
@@ -101,7 +138,7 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 		if s.queue[0].at > deadline {
 			break
 		}
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		s.now = e.at
 		s.Executed++
 		e.fn()
