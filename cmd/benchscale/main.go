@@ -1,0 +1,121 @@
+// Command benchscale runs the repository's hot-path smoke benchmarks
+// programmatically (testing.Benchmark — no `go test` harness needed) and
+// emits a machine-readable BENCH_scale.json so the performance trajectory
+// of the wire hot path is tracked run over run. CI runs it as a smoke
+// step; the JSON is the artifact a regression diff reads.
+//
+// The suite is intentionally small and fixed, and every workload is the
+// shared body from internal/benchhot — the same code the per-package
+// `go test -bench` benchmarks of the same names run, so the CI numbers
+// and local bench runs stay comparable by construction: the send→deliver
+// path and a multicast round (both with their zero-allocs-per-op claims),
+// the netmodel pricing fast path and pair cache, the kernel's typed-event
+// loop, and the 1k-host slice of the s1 scale study with its events/sec
+// throughput.
+//
+// Usage:
+//
+//	benchscale [-out BENCH_scale.json] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"nearestpeer/internal/benchhot"
+	"nearestpeer/internal/experiments"
+	"nearestpeer/internal/netmodel"
+)
+
+// Row is one benchmark's result in the JSON output.
+type Row struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EventsPerSec is kernel events executed per wall-clock second, the
+	// simulator's headline throughput. Only the scale-study row fills it.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	N            int     `json:"n"`
+}
+
+// Output is the BENCH_scale.json schema.
+type Output struct {
+	// Schema names the layout so downstream tooling can evolve with it.
+	Schema string `json:"schema"`
+	Rows   []Row  `json:"rows"`
+}
+
+func rowOf(name string, r testing.BenchmarkResult) Row {
+	return Row{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		N:           r.N,
+	}
+}
+
+func main() {
+	testing.Init() // registers test.* flags so -benchtime can be plumbed
+	out := flag.String("out", "BENCH_scale.json", "output file")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	flag.Parse()
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		_ = f.Value.Set(benchtime.String())
+	}
+
+	var rows []Row
+	run := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		row := rowOf(name, res)
+		rows = append(rows, row)
+		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+
+	top := netmodel.Generate(netmodel.DefaultConfig(), 1)
+	run("send_deliver", benchhot.SendDeliver)
+	run("request_reply", benchhot.RequestReply)
+	run("multicast_round", benchhot.MulticastRound)
+	run("tree_one_way_ms", func(b *testing.B) { benchhot.TreeOneWayMs(b, top) })
+	run("rtt_cache_hit", func(b *testing.B) { benchhot.RTTCacheHit(b, top) })
+	run("kernel_handler_cascade", benchhot.KernelHandlerCascade)
+
+	// The s1 smoke slice: 1k hosts, all three algorithms. events/sec is
+	// kernel events executed per wall second across the wire cells.
+	var events uint64
+	var elapsed time.Duration
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			r := experiments.ScaleStudyAt([]int{1000}, 20, 1)
+			elapsed += time.Since(start)
+			for _, c := range r.Cells {
+				events += c.Events
+			}
+		}
+	})
+	row := rowOf("scale_study_smoke_1k", res)
+	if elapsed > 0 {
+		row.EventsPerSec = float64(events) / elapsed.Seconds()
+	}
+	rows = append(rows, row)
+	fmt.Printf("%-28s %12.1f ns/op %27.0f events/sec\n", row.Name, row.NsPerOp, row.EventsPerSec)
+
+	data, err := json.MarshalIndent(Output{Schema: "nearestpeer/bench_scale/v1", Rows: rows}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchscale:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscale:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

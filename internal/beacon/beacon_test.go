@@ -87,10 +87,19 @@ func TestClusteringMakesPeersIndistinguishable(t *testing.T) {
 	net.SetNoise(0.05, 0.5, 77)
 	members, targets := overlay.Split(m.N(), 80, 3)
 	inf := New(net, members, DefaultConfig(), 5)
-	for name, f := range map[string]overlay.Finder{
-		"guyton-schwartz": &GuytonSchwartz{Inf: inf},
-		"beaconing":       &Beaconing{Inf: inf},
-	} {
+	// The two schemes share the network's single noise stream, so they
+	// must run in a fixed order: ranging over a map here made the draw
+	// sequence — and with it the exact rate — depend on Go's randomised
+	// map iteration, failing one order in two.
+	finders := []struct {
+		name string
+		f    overlay.Finder
+	}{
+		{"guyton-schwartz", &GuytonSchwartz{Inf: inf}},
+		{"beaconing", &Beaconing{Inf: inf}},
+	}
+	for _, fd := range finders {
+		name, f := fd.name, fd.f
 		exact := 0
 		for _, tgt := range targets {
 			res := f.FindNearest(tgt)

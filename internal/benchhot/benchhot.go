@@ -1,0 +1,135 @@
+// Package benchhot holds the shared bodies of the hot-path smoke
+// benchmarks. Two consumers run the exact same code: the per-package
+// `go test -bench` benchmarks (external _test files delegating here) and
+// cmd/benchscale, which writes the CI-tracked BENCH_scale.json. Sharing
+// the bodies is the point — if the workloads could drift apart, the CI
+// perf trajectory would silently stop being comparable to local bench
+// runs of the same name.
+//
+// It is a non-test package only because test packages cannot be imported;
+// nothing here should run in production code paths.
+package benchhot
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/p2p"
+	"nearestpeer/internal/sim"
+)
+
+// LineMatrix builds a dense matrix with rtt(i,j) = 10*|i-j| ms — the
+// shape every transport benchmark prices against.
+func LineMatrix(n int) *latency.Dense {
+	m := latency.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, 10*float64(j-i))
+		}
+	}
+	return m
+}
+
+// SendDeliver is the wire hot path: one one-way message from send through
+// delivery. Steady state is 0 allocs/op — the envelope parks by value in
+// the runtime slab and delivery rides a typed kernel event.
+func SendDeliver(b *testing.B) {
+	kernel := sim.New()
+	rt := p2p.New(kernel, LineMatrix(4), p2p.Config{RPCTimeout: time.Second}, 1)
+	a := rt.AddNode(0)
+	rt.AddNode(1).Handle("noop", func(*p2p.Node, p2p.Envelope) {})
+	a.Send(1, "noop", nil)
+	kernel.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(1, "noop", nil)
+		kernel.Run()
+	}
+}
+
+// RequestReply prices the correlated round trip (request, reply, inflight
+// bookkeeping, timeout event) — the Ping building block.
+func RequestReply(b *testing.B) {
+	kernel := sim.New()
+	rt := p2p.New(kernel, LineMatrix(4), p2p.Config{RPCTimeout: time.Second}, 1)
+	a := rt.AddNode(0)
+	rt.AddNode(1).Handle("echo", func(n *p2p.Node, env p2p.Envelope) { n.Reply(env, "echo_ok", nil) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Request(1, "echo", nil, time.Second, func(p2p.Envelope) {}, nil)
+		kernel.Run()
+	}
+}
+
+// MulticastRound is one expanding-ring round from a warm sender index
+// over a 1024-member group: a binary-searched RTT prefix (radius 160 ms
+// covers the 16 nearest members of the line matrix), not an O(members)
+// rescan.
+func MulticastRound(b *testing.B) {
+	const members = 1024
+	kernel := sim.New()
+	rt := p2p.New(kernel, LineMatrix(members+1), p2p.Config{RPCTimeout: time.Second}, 1)
+	for i := 1; i <= members; i++ {
+		rt.AddNode(p2p.NodeID(i))
+		rt.JoinGroup("g", p2p.NodeID(i))
+		rt.Node(p2p.NodeID(i)).Handle("mc", func(*p2p.Node, p2p.Envelope) {})
+	}
+	rt.AddNode(0)
+	rt.Multicast(0, "g", "mc", nil, 160)
+	kernel.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Multicast(0, "g", "mc", nil, 160)
+		kernel.Run()
+	}
+}
+
+// TreeOneWayMs is the raw pricing hot path over a prebuilt topology:
+// flat-table loads plus the hub lookup, no shortcut hash.
+func TreeOneWayMs(b *testing.B, top *netmodel.Topology) {
+	n := top.NumHosts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = top.TreeOneWayMs(netmodel.HostID(i%n), netmodel.HostID((i*7+3)%n))
+	}
+}
+
+// RTTCacheHit prices one pair repeatedly through the pair cache — the
+// chord-stabilize access pattern.
+func RTTCacheHit(b *testing.B, top *netmodel.Topology) {
+	c := netmodel.NewRTTCache(top, 0)
+	n := top.NumHosts()
+	c.RTTms(0, netmodel.HostID(n/2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.RTTms(0, netmodel.HostID(n/2))
+	}
+}
+
+// KernelHandlerCascade drives a 1000-event cascade through a registered
+// typed handler: the kernel's allocation-free scheduling loop.
+func KernelHandlerCascade(b *testing.B) {
+	s := sim.New()
+	cnt := 0
+	var h sim.HandlerID
+	h = s.RegisterHandler(func(arg uint64) {
+		cnt++
+		if cnt < 1000 {
+			s.AfterHandler(time.Duration(cnt%7)*time.Millisecond, h, arg+1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnt = 0
+		s.AfterHandler(0, h, 0)
+		s.Run()
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nearestpeer/internal/engine"
+)
+
+// The golden figure files pin the deterministic quick-scale output of the
+// wire studies byte for byte. They exist so that performance work on the
+// hot paths underneath them — the event representation in internal/sim,
+// the latency pricing in internal/netmodel, the send path and multicast
+// index in internal/p2p — cannot change a single figure byte without the
+// diff showing up here. Regenerate with
+//
+//	go test ./internal/experiments -run TestGoldenQuickFigures -update
+//
+// and commit the diff only when a figure change is intended.
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure files")
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s drifted from golden output.\nIf the figure change is intended, regenerate with -update.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenQuickFigures asserts the quick-scale c1, c2 and s1 figures are
+// byte-identical to the goldens captured before the allocation-free wire
+// hot path landed: the typed-payload event representation, the SoA latency
+// table, the pair RTT cache and the multicast sender index must be
+// invisible in every figure byte. c1 additionally runs at two worker
+// counts, so the goldens also witness the engine's schedule-independence
+// contract end to end (s1 has its own cross-worker test).
+func TestGoldenQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale studies are too heavy for -short")
+	}
+	t.Run("c1", func(t *testing.T) {
+		prev := engine.SetWorkers(1)
+		defer engine.SetWorkers(prev)
+		serial := ChurnStudy(Quick, 1).Render()
+		engine.SetWorkers(8)
+		parallel := ChurnStudy(Quick, 1).Render()
+		if serial != parallel {
+			t.Fatalf("c1 differs between -workers=1 and -workers=8:\n--- w=1 ---\n%s\n--- w=8 ---\n%s", serial, parallel)
+		}
+		checkGolden(t, "golden_c1_quick.txt", serial)
+	})
+	t.Run("c2", func(t *testing.T) {
+		checkGolden(t, "golden_c2_quick.txt", MitigationStudy(Quick, 1).Render())
+	})
+	t.Run("s1", func(t *testing.T) {
+		checkGolden(t, "golden_s1_quick.txt", ScaleStudy(Quick, 1).Render())
+	})
+}

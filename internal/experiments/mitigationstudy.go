@@ -288,7 +288,11 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 		tools = env.Tools
 	}
 	kernel := sim.New()
-	rt := p2p.New(kernel, &latency.TopologyMatrix{Top: env.Top, Hosts: peers}, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	// The run owns its matrix, so the RTT cache is private to this kernel;
+	// chord stabilize re-prices the same successor pairs every round and
+	// hits it almost always.
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
 	ccfg := p2p.DefaultChordConfig()
 	ccfg.Horizon = opts.Horizon
 	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)

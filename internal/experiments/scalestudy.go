@@ -182,7 +182,11 @@ func ScaleStudyAt(sizes []int, queries int, seed int64) *ScaleStudyResult {
 	out := &ScaleStudyResult{Seed: seed, Queries: queries}
 	out.Cells = engine.Map(engine.Config{Seed: seed, Label: "s1"}, specs,
 		func(t *engine.Trial, s cellSpec) ScaleCell {
-			m := &latency.FullTopologyMatrix{Top: s.top}
+			// Each cell owns its matrix and therefore its RTT cache: the
+			// topology is shared read-only, the cache is trial-private
+			// (cached values are bit-identical to direct pricing, so the
+			// figure cannot depend on it).
+			m := (&latency.FullTopologyMatrix{Top: s.top}).EnableRTTCache(0)
 			start := time.Now()
 			var cell ScaleCell
 			switch s.algo {

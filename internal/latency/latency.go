@@ -52,13 +52,31 @@ func (d *Dense) Set(i, j int, ms float64) {
 // so it scales to hundreds of thousands of hosts.
 type FullTopologyMatrix struct {
 	Top *netmodel.Topology
+
+	cache *netmodel.RTTCache
 }
 
 // N returns the host count.
 func (m *FullTopologyMatrix) N() int { return m.Top.NumHosts() }
 
+// EnableRTTCache attaches a direct-mapped unordered-pair cache (slots <= 0
+// selects the netmodel default) and returns m for chaining. Cached values
+// are bit-identical to direct pricing, so figures cannot change; what
+// changes is that protocol maintenance re-pricing the same pairs (chord
+// stabilize, ring pings) stops re-walking the topology. The cache makes
+// the matrix single-goroutine: callers that share one topology across
+// engine trials must enable the cache on each trial's own matrix, never
+// on a shared one.
+func (m *FullTopologyMatrix) EnableRTTCache(slots int) *FullTopologyMatrix {
+	m.cache = netmodel.NewRTTCache(m.Top, slots)
+	return m
+}
+
 // LatencyMs returns the true RTT between hosts i and j.
 func (m *FullTopologyMatrix) LatencyMs(i, j int) float64 {
+	if m.cache != nil {
+		return m.cache.RTTms(netmodel.HostID(i), netmodel.HostID(j))
+	}
 	if i == j {
 		return 0
 	}
@@ -69,15 +87,27 @@ func (m *FullTopologyMatrix) LatencyMs(i, j int) float64 {
 type TopologyMatrix struct {
 	Top   *netmodel.Topology
 	Hosts []netmodel.HostID
+
+	cache *netmodel.RTTCache
 }
 
 // N returns the host-subset size.
 func (m *TopologyMatrix) N() int { return len(m.Hosts) }
 
+// EnableRTTCache attaches a direct-mapped unordered-pair cache and returns
+// m for chaining; see FullTopologyMatrix.EnableRTTCache for the contract.
+func (m *TopologyMatrix) EnableRTTCache(slots int) *TopologyMatrix {
+	m.cache = netmodel.NewRTTCache(m.Top, slots)
+	return m
+}
+
 // LatencyMs returns the true RTT between the i-th and j-th selected hosts.
 func (m *TopologyMatrix) LatencyMs(i, j int) float64 {
 	if i == j {
 		return 0
+	}
+	if m.cache != nil {
+		return m.cache.RTTms(m.Hosts[i], m.Hosts[j])
 	}
 	return m.Top.RTTms(m.Hosts[i], m.Hosts[j])
 }

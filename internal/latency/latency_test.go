@@ -207,3 +207,30 @@ func TestTopologyMatrix(t *testing.T) {
 		t.Fatal("adaptor disagrees with topology")
 	}
 }
+
+// TestRTTCacheTransparent: a cache-enabled topology matrix must be
+// indistinguishable, value for value, from the uncached one.
+func TestRTTCacheTransparent(t *testing.T) {
+	top := netmodel.Generate(netmodel.DefaultConfig(), 4)
+	full := &FullTopologyMatrix{Top: top}
+	cachedFull := (&FullTopologyMatrix{Top: top}).EnableRTTCache(1 << 8)
+	hosts := make([]netmodel.HostID, 0, 50)
+	for i := 0; i < 50; i++ {
+		hosts = append(hosts, netmodel.HostID(i*7%top.NumHosts()))
+	}
+	sub := &TopologyMatrix{Top: top, Hosts: hosts}
+	cachedSub := (&TopologyMatrix{Top: top, Hosts: hosts}).EnableRTTCache(1 << 8)
+	for round := 0; round < 2; round++ { // second round exercises hits
+		for i := 0; i < len(hosts); i++ {
+			for j := 0; j < len(hosts); j++ {
+				a, b := int(hosts[i]), int(hosts[j])
+				if got, want := cachedFull.LatencyMs(a, b), full.LatencyMs(a, b); got != want {
+					t.Fatalf("cached full matrix (%d,%d) = %v, direct %v", a, b, got, want)
+				}
+				if got, want := cachedSub.LatencyMs(i, j), sub.LatencyMs(i, j); got != want {
+					t.Fatalf("cached sub matrix (%d,%d) = %v, direct %v", i, j, got, want)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,10 @@ func BenchmarkRTT(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeOneWayMs and BenchmarkRTTCacheHit live in benchhot_test.go,
+// delegating to internal/benchhot so cmd/benchscale measures the same
+// workloads.
+
 func BenchmarkPath(b *testing.B) {
 	top := Generate(DefaultConfig(), 1)
 	n := len(top.Hosts)

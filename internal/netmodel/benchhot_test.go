@@ -1,0 +1,22 @@
+package netmodel_test
+
+import (
+	"sync"
+	"testing"
+
+	"nearestpeer/internal/benchhot"
+	"nearestpeer/internal/netmodel"
+)
+
+// These delegate to internal/benchhot so `go test -bench` and
+// cmd/benchscale (which writes CI's BENCH_scale.json) measure the exact
+// same workloads. The topology is built once per process, outside the
+// timers — and lazily, so plain `go test` runs that select no benchmark
+// never pay for the generation.
+
+var benchTop = sync.OnceValue(func() *netmodel.Topology {
+	return netmodel.Generate(netmodel.DefaultConfig(), 1)
+})
+
+func BenchmarkTreeOneWayMs(b *testing.B) { benchhot.TreeOneWayMs(b, benchTop()) }
+func BenchmarkRTTCacheHit(b *testing.B)  { benchhot.RTTCacheHit(b, benchTop()) }

@@ -163,6 +163,7 @@ func Generate(cfg Config, seed int64) *Topology {
 	genDNS(t, src.Split("dns"))
 
 	t.hubLat = buildHubLatencies(t, seed)
+	buildHostFlat(t)
 	t.shortcuts = shortcutModel{
 		seed:    seed ^ 0x51C0_1D5E,
 		onsetMs: cfg.ShortcutOnsetMs, fullMs: cfg.ShortcutFullMs,

@@ -212,7 +212,11 @@ type Topology struct {
 	hubLat *hubLatencies
 	// shortcuts models alternate paths (see routing.go).
 	shortcuts shortcutModel
-	cfg       Config
+	// flat is the per-host structure-of-arrays latency table the pricing
+	// hot path reads instead of chasing Host/EndNetwork pointers (see
+	// hotpath.go).
+	flat hostFlat
+	cfg  Config
 }
 
 // Config returns the generation parameters the topology was built with.

@@ -103,6 +103,13 @@ func commonChainDepth(a, b *EndNetwork) int {
 // TreeOneWayMs returns the one-way latency in milliseconds between two hosts
 // along the routing tree (always via the deepest common router / the PoP
 // hub / the backbone), ignoring alternate paths.
+//
+// This is the pricing hot path: it reads the flat per-host table (see
+// hotpath.go) instead of the Host/EndNetwork structs, and only falls back
+// to the chain walk in the rare same-PoP/different-EN case. Every branch
+// reproduces the struct walk's floating-point operation order exactly
+// (toCore[a] is precomputed as lan[a]+hub[a], the prefix of the original
+// left-to-right sum), so the flattening cannot change a figure byte.
 func (t *Topology) TreeOneWayMs(a, b HostID) float64 {
 	if a == b {
 		return 0
@@ -112,26 +119,29 @@ func (t *Topology) TreeOneWayMs(a, b HostID) float64 {
 		// in both directions, so RTT is exactly symmetric.
 		a, b = b, a
 	}
-	ha, hb := &t.Hosts[a], &t.Hosts[b]
-	if ha.EN == hb.EN {
-		lat := ha.LANLatMs + hb.LANLatMs
-		if ha.VLAN != hb.VLAN {
+	f := &t.flat
+	ea, eb := f.en[a], f.en[b]
+	if ea == eb {
+		lat := f.lan[a] + f.lan[b]
+		if f.vlan[a] != f.vlan[b] {
 			lat += t.cfg.VLANCrossMs
 		}
 		return lat
 	}
-	ea, eb := &t.ENs[ha.EN], &t.ENs[hb.EN]
-	if ea.PoP == eb.PoP {
-		d := commonChainDepth(ea, eb)
-		if d > 0 {
-			// Deepest common router: climb only as far as it.
-			c := ea.ChainLatMs[d-1]
-			return ha.LANLatMs + (ea.HubLatMs - c) + (eb.HubLatMs - c) + hb.LANLatMs
-		}
-		return ha.LANLatMs + ea.HubLatMs + eb.HubLatMs + hb.LANLatMs
+	pa, pb := f.pop[a], f.pop[b]
+	if pa != pb {
+		// The common case at scale: cross-PoP, four flat loads plus the
+		// precomputed hub table.
+		return f.toCore[a] + t.hubLat.oneWay(pa, pb) + f.hub[b] + f.lan[b]
 	}
-	hub := t.hubLat.oneWay(ea.PoP, eb.PoP)
-	return ha.LANLatMs + ea.HubLatMs + hub + eb.HubLatMs + hb.LANLatMs
+	ena, enb := &t.ENs[ea], &t.ENs[eb]
+	d := commonChainDepth(ena, enb)
+	if d > 0 {
+		// Deepest common router: climb only as far as it.
+		c := ena.ChainLatMs[d-1]
+		return f.lan[a] + (f.hub[a] - c) + (f.hub[b] - c) + f.lan[b]
+	}
+	return f.toCore[a] + f.hub[b] + f.lan[b]
 }
 
 // OneWayMs returns the true one-way latency in milliseconds between two

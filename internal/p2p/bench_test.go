@@ -1,0 +1,38 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/sim"
+)
+
+// The send/deliver, request/reply and warm multicast-round benchmarks
+// live in internal/benchhot (shared with cmd/benchscale, delegated from
+// benchhot_test.go); only the cold-index variant stays here because it
+// reaches into the unexported sender cache to evict.
+
+// BenchmarkMulticastRoundCold prices the first round from a fresh sender
+// (index build + sort) amortised over the group size, the cost the lazy
+// index pays once per (sender, group).
+func BenchmarkMulticastRoundCold(b *testing.B) {
+	const members = 1024
+	kernel := sim.New()
+	rt := New(kernel, lineMatrix(members+2), Config{RPCTimeout: time.Second}, 1)
+	for i := 2; i < members+2; i++ {
+		rt.AddNode(NodeID(i))
+		rt.JoinGroup("g", NodeID(i))
+		rt.Node(NodeID(i)).Handle("mc", func(*Node, Envelope) {})
+	}
+	rt.AddNode(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := rt.groups["g"]
+		delete(g.senders, 0) // evict so every iteration rebuilds
+		b.StartTimer()
+		rt.Multicast(0, "g", "mc", nil, 160)
+		kernel.Run()
+	}
+}

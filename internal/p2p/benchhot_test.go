@@ -1,0 +1,15 @@
+package p2p_test
+
+import (
+	"testing"
+
+	"nearestpeer/internal/benchhot"
+)
+
+// These delegate to internal/benchhot so `go test -bench` and
+// cmd/benchscale (which writes CI's BENCH_scale.json) measure the exact
+// same workloads — the numbers stay comparable by construction.
+
+func BenchmarkSendDeliver(b *testing.B)    { benchhot.SendDeliver(b) }
+func BenchmarkRequestReply(b *testing.B)   { benchhot.RequestReply(b) }
+func BenchmarkMulticastRound(b *testing.B) { benchhot.MulticastRound(b) }

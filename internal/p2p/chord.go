@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -121,13 +122,23 @@ type chordState struct {
 }
 
 // Chord runs the protocol over a Runtime.
+//
+// Node IDs are dense matrix indices, so the per-node protocol state and
+// the ring-hash cache live in slices, not maps: RingIDOf and the state
+// lookup run on every routed message, and at scale-study event counts the
+// map hashing alone dominated whole cells (28% of the s1 smoke).
 type Chord struct {
-	rt     *Runtime
-	cfg    ChordConfig
-	src    *rng.Source
-	states map[NodeID]*chordState
-	order  []NodeID // sorted live member list (bootstrap handout)
-	rings  map[NodeID]uint64
+	rt      *Runtime
+	cfg     ChordConfig
+	src     *rng.Source
+	states  []*chordState // states[id]; nil = not a member
+	order   []NodeID      // sorted live member list (bootstrap handout)
+	rings   []uint64      // rings[id]; valid iff ringSet[id]
+	ringSet []bool
+
+	// cpOut/cpDist are closestPreceding's reusable scratch buffers.
+	cpOut  []NodeID
+	cpDist []uint64
 }
 
 // NewChord creates the protocol instance (with no members yet).
@@ -135,12 +146,14 @@ func NewChord(rt *Runtime, cfg ChordConfig, seed int64) *Chord {
 	if cfg.SuccListLen <= 0 || cfg.StabilizeEvery <= 0 || cfg.Replicas <= 0 || cfg.RPCTimeout <= 0 || cfg.MaxHops <= 0 {
 		panic(fmt.Sprintf("p2p: invalid chord config %+v", cfg))
 	}
+	n := rt.m.N()
 	return &Chord{
-		rt:     rt,
-		cfg:    cfg,
-		src:    rng.New(seed).Split("chord"),
-		states: make(map[NodeID]*chordState),
-		rings:  make(map[NodeID]uint64),
+		rt:      rt,
+		cfg:     cfg,
+		src:     rng.New(seed).Split("chord"),
+		states:  make([]*chordState, n),
+		rings:   make([]uint64, n),
+		ringSet: make([]bool, n),
 	}
 }
 
@@ -148,14 +161,32 @@ func NewChord(rt *Runtime, cfg ChordConfig, seed int64) *Chord {
 func (c *Chord) Runtime() *Runtime { return c.rt }
 
 // RingIDOf maps a node onto the identifier ring, reusing the DHT package's
-// consistent hashing (cached — the hash is pure).
+// consistent hashing (cached — the hash is pure). The hit path is small
+// enough to inline at every routing-step call site; the first-touch hash
+// lives in ringIDSlow to keep it that way.
 func (c *Chord) RingIDOf(id NodeID) uint64 {
-	if v, ok := c.rings[id]; ok {
-		return v
+	if c.ringSet[id] {
+		return c.rings[id]
 	}
+	return c.ringIDSlow(id)
+}
+
+func (c *Chord) ringIDSlow(id NodeID) uint64 {
 	v := dht.HashKey(fmt.Sprintf("chord/%d", int(id)))
 	c.rings[id] = v
+	c.ringSet[id] = true
 	return v
+}
+
+// state returns the member state for id, or nil. Bounds-checked so that
+// protocol messages from nodes outside the matrix population (impossible
+// today — the runtime rejects them at AddNode) stay nil rather than
+// panicking.
+func (c *Chord) state(id NodeID) *chordState {
+	if int(id) < 0 || int(id) >= len(c.states) {
+		return nil
+	}
+	return c.states[id]
 }
 
 // NumMembers returns the live member count.
@@ -172,7 +203,7 @@ func (c *Chord) LiveMembers() []int {
 
 // SuccessorOf exposes a member's current successor pointer (tests).
 func (c *Chord) SuccessorOf(id NodeID) (NodeID, bool) {
-	st := c.states[id]
+	st := c.state(id)
 	if st == nil || len(st.succs) == 0 {
 		return NoNode, false
 	}
@@ -181,7 +212,7 @@ func (c *Chord) SuccessorOf(id NodeID) (NodeID, bool) {
 
 // PredecessorOf exposes a member's current predecessor pointer (tests).
 func (c *Chord) PredecessorOf(id NodeID) (NodeID, bool) {
-	st := c.states[id]
+	st := c.state(id)
 	if st == nil || st.pred == NoNode {
 		return NoNode, false
 	}
@@ -190,7 +221,7 @@ func (c *Chord) PredecessorOf(id NodeID) (NodeID, bool) {
 
 // StoredAt reports how many values a member holds under key (tests).
 func (c *Chord) StoredAt(id NodeID, key string) int {
-	if st := c.states[id]; st != nil {
+	if st := c.state(id); st != nil {
 		return len(st.data[key])
 	}
 	return 0
@@ -202,7 +233,7 @@ func (c *Chord) StoredAt(id NodeID, key string) int {
 // and stabilize rounds rectify predecessor pointers — a freshly joined
 // node answers queries with whatever it knows so far, as a real node would.
 func (c *Chord) Join(id NodeID) {
-	if _, ok := c.states[id]; ok {
+	if c.state(id) != nil {
 		return
 	}
 	n := c.rt.AddNode(id)
@@ -245,7 +276,7 @@ func (c *Chord) Join(id NodeID) {
 // successor first (the message survives it on the wire); a crash just goes
 // silent and the ring discovers the death by timeout.
 func (c *Chord) Leave(id NodeID, graceful bool) {
-	st := c.states[id]
+	st := c.state(id)
 	if st == nil {
 		return
 	}
@@ -261,7 +292,7 @@ func (c *Chord) Leave(id NodeID, graceful bool) {
 		}
 		n.Send(st.succs[0], MsgChordHandoff, cHandoffMsg{Data: cp})
 	}
-	delete(c.states, id)
+	c.states[id] = nil
 	c.removeMember(id)
 	if n != nil {
 		n.Stop()
@@ -279,7 +310,7 @@ func (c *Chord) Leave(id NodeID, graceful bool) {
 func (c *Chord) bootstrap(n *Node, st *chordState, boot NodeID) {
 	res := &LookupResult{Owner: NoNode}
 	c.drive(n, nil, []NodeID{boot}, st.ringID, res, func(r LookupResult) {
-		if c.states[n.ID] != st {
+		if c.state(n.ID) != st {
 			return
 		}
 		if !r.OK || r.Owner == NoNode || r.Owner == n.ID {
@@ -309,7 +340,7 @@ func (c *Chord) bootstrap(n *Node, st *chordState, boot NodeID) {
 		// next republish can still find them.
 		n.Request(head, MsgChordMigrate, nil, c.cfg.RPCTimeout,
 			func(env Envelope) {
-				if c.states[n.ID] != st || !n.Alive() {
+				if c.state(n.ID) != st || !n.Alive() {
 					return
 				}
 				mergeValues(st.data, env.Payload.(cHandoffMsg).Data)
@@ -388,7 +419,7 @@ func (c *Chord) scheduleStabilize(id NodeID, st *chordState) {
 		return
 	}
 	c.rt.Kernel.After(d, func() {
-		if c.states[id] != st {
+		if c.state(id) != st {
 			return
 		}
 		if c.rt.Alive(id) {
@@ -450,7 +481,7 @@ func (c *Chord) stabilizeSucc(id NodeID, st *chordState, budget int) {
 	succ := st.succs[0]
 	n.Request(succ, MsgChordState, nil, c.cfg.RPCTimeout,
 		func(env Envelope) {
-			if c.states[id] != st || !n.Alive() {
+			if c.state(id) != st || !n.Alive() {
 				return
 			}
 			sm := env.Payload.(cStateOKMsg)
@@ -476,7 +507,7 @@ func (c *Chord) stabilizeSucc(id NodeID, st *chordState, budget int) {
 			n.Send(st.succs[0], MsgChordNotify, nil)
 		},
 		func() {
-			if c.states[id] != st || !n.Alive() {
+			if c.state(id) != st || !n.Alive() {
 				return
 			}
 			// Possibly dead, possibly one lost exchange: evict only on the
@@ -511,7 +542,7 @@ func (c *Chord) fixFinger(n *Node, st *chordState) {
 	target := st.ringID + 1<<uint(i)
 	res := &LookupResult{Owner: NoNode}
 	c.drive(n, st, nil, target, res, func(r LookupResult) {
-		if c.states[n.ID] != st {
+		if c.state(n.ID) != st {
 			return
 		}
 		if r.OK && r.Owner != NoNode && r.Owner != n.ID {
@@ -547,14 +578,32 @@ func (c *Chord) learn(st *chordState, peer NodeID) {
 		// evict it within two rounds.
 		c.adoptSuccessors(st, NoNode, peer, st.succs)
 	}
-	for i := range st.fingers {
-		start := st.ringID + 1<<uint(i)
-		dp := dht.RingDist(start, pr)
-		if dp >= dht.RingDist(start, st.ringID) {
-			continue // wraps past self: outside finger i's range
-		}
+	// Slot i covers peers at clockwise distance >= 2^i from self, so the
+	// in-range slots are exactly 0..Len64(D)-1 for D = dist(self, peer).
+	// Within a slot, every stored finger is itself in range (the only
+	// assignments are here and in the lookup-repair path, both gated on
+	// the range check), so "peer closer to 2^i than cur" reduces to
+	// comparing plain clockwise distances from self: D < dist(self, cur).
+	// This is the per-message hot loop — called for every reply and
+	// notify — and the reduced form does one load and one compare per
+	// slot instead of three ring-distance computations.
+	// Consecutive slots usually hold the same finger (a sparse ring fills
+	// many slots with one node), and the replace decision depends only on
+	// the occupant — memoise it across a run of equal occupants. Stored
+	// fingers always have their ring hash cached (they were RingIDOf'ed
+	// when learned), so c.rings is read directly.
+	D := dht.RingDist(st.ringID, pr)
+	maxI := bits.Len64(D)
+	rings := c.rings
+	prev := NodeID(-2) // never a valid finger value
+	replace := false
+	for i := 0; i < maxI; i++ {
 		cur := st.fingers[i]
-		if cur == NoNode || dp < dht.RingDist(start, c.RingIDOf(cur)) {
+		if cur != prev {
+			prev = cur
+			replace = cur == NoNode || D < rings[cur]-st.ringID
+		}
+		if replace {
 			st.fingers[i] = peer
 		}
 	}
@@ -662,32 +711,49 @@ func (c *Chord) routeStep(self NodeID, st *chordState, key uint64) cFindOKMsg {
 }
 
 // closestPreceding returns the known candidates strictly between self and
-// the key, closest-to-the-key first.
+// the key, closest-to-the-key first. The returned slice is the Chord
+// instance's scratch buffer, valid until the next call — the one caller
+// (routeStep) copies what it keeps. Candidate sets are small (≤ fingers +
+// successors, with heavy duplication), so dedup is a linear scan over the
+// accepted list and the ordering is an insertion sort on precomputed
+// distances — no map, no sort.Slice closure, no per-call allocation.
 func (c *Chord) closestPreceding(st *chordState, self NodeID, key uint64) []NodeID {
-	seen := map[NodeID]bool{self: true}
-	var out []NodeID
-	add := func(id NodeID) {
-		if id == NoNode || seen[id] {
-			return
+	out := c.cpOut[:0]
+	dist := c.cpDist[:0]
+	for pass := 0; pass < 2; pass++ {
+		list := st.fingers
+		if pass == 1 {
+			list = st.succs
 		}
-		seen[id] = true
-		if dht.Between(c.RingIDOf(id), st.ringID, key) {
-			out = append(out, id)
+	next:
+		for _, id := range list {
+			if id == NoNode || id == self {
+				continue
+			}
+			for _, x := range out {
+				if x == id {
+					continue next
+				}
+			}
+			r := c.RingIDOf(id)
+			if dht.Between(r, st.ringID, key) {
+				out = append(out, id)
+				dist = append(dist, dht.RingDist(r, key))
+			}
 		}
 	}
-	for _, f := range st.fingers {
-		add(f)
-	}
-	for _, s := range st.succs {
-		add(s)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		di, dj := dht.RingDist(c.RingIDOf(out[i]), key), dht.RingDist(c.RingIDOf(out[j]), key)
-		if di != dj {
-			return di < dj
+	// Insertion sort by (distance-to-key, id): the same strict total order
+	// the previous sort.Slice used, so the result is identical.
+	for i := 1; i < len(out); i++ {
+		d, id := dist[i], out[i]
+		j := i - 1
+		for j >= 0 && (dist[j] > d || (dist[j] == d && out[j] > id)) {
+			dist[j+1], out[j+1] = dist[j], out[j]
+			j--
 		}
-		return out[i] < out[j]
-	})
+		dist[j+1], out[j+1] = d, id
+	}
+	c.cpOut, c.cpDist = out, dist // retain grown capacity
 	return out
 }
 
@@ -695,7 +761,7 @@ func (c *Chord) closestPreceding(st *chordState, self NodeID, key uint64) []Node
 // stays silent, so the asker's per-hop timeout fires and it retries via its
 // fallback candidates.
 func (c *Chord) handleFind(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -703,7 +769,7 @@ func (c *Chord) handleFind(n *Node, env Envelope) {
 }
 
 func (c *Chord) handleState(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -715,7 +781,7 @@ func (c *Chord) handleState(n *Node, env Envelope) {
 // re-notifies every stabilize round), keeping the protocol free of global
 // aliveness peeks.
 func (c *Chord) handleNotify(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil || env.From == n.ID {
 		return
 	}
@@ -735,7 +801,7 @@ func (c *Chord) handleNotify(n *Node, env Envelope) {
 }
 
 func (c *Chord) handleStore(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -753,7 +819,7 @@ func (c *Chord) handleStore(n *Node, env Envelope) {
 }
 
 func (c *Chord) handleStoreRep(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -775,7 +841,7 @@ func storeValue(data map[string][][]byte, key string, val []byte) {
 }
 
 func (c *Chord) handleFetch(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -788,7 +854,7 @@ func (c *Chord) handleFetch(n *Node, env Envelope) {
 }
 
 func (c *Chord) handleHandoff(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -804,7 +870,7 @@ func (c *Chord) handleHandoff(n *Node, env Envelope) {
 // for them; duplicate-skipping merges keep repeated migrations from
 // inflating anything.
 func (c *Chord) handleMigrate(n *Node, env Envelope) {
-	st := c.states[n.ID]
+	st := c.state(n.ID)
 	if st == nil {
 		return
 	}
@@ -867,7 +933,7 @@ type OpResult struct {
 func (c *Chord) Lookup(from NodeID, key string, done func(LookupResult)) {
 	n := c.rt.AddNode(from)
 	res := &LookupResult{Owner: NoNode}
-	c.drive(n, c.states[from], nil, dht.HashKey(key), res, done)
+	c.drive(n, c.state(from), nil, dht.HashKey(key), res, done)
 }
 
 // drive runs one iterative lookup from n: a best-first frontier of
@@ -910,7 +976,7 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 		push(starts...)
 	}
 	memberState := func() *chordState {
-		if st != nil && c.states[n.ID] == st {
+		if st != nil && c.state(n.ID) == st {
 			return st
 		}
 		return nil
@@ -1007,7 +1073,7 @@ func (c *Chord) opAttempt(n *Node, key string, res *OpResult, attempts int, typ 
 		return
 	}
 	lr := &LookupResult{Owner: NoNode}
-	c.drive(n, c.states[n.ID], nil, dht.HashKey(key), lr, func(r LookupResult) {
+	c.drive(n, c.state(n.ID), nil, dht.HashKey(key), lr, func(r LookupResult) {
 		res.Hops += r.Hops
 		res.Retries += r.Retries
 		if !r.OK {

@@ -11,6 +11,8 @@ type Handler func(n *Node, env Envelope)
 // call is one outstanding request parked in the inflight map. The timeout
 // event does not cancel; it checks whether the MsgID is still inflight, so
 // a response that arrived first wins the race by deleting the entry.
+// Stored by value — two function words — so parking a request costs no
+// allocation beyond the caller's own callbacks.
 type call struct {
 	onReply   func(Envelope)
 	onTimeout func()
@@ -26,7 +28,7 @@ type Node struct {
 	rt       *Runtime
 	alive    bool
 	handlers map[string]Handler
-	inflight map[uint64]*call
+	inflight map[uint64]call
 }
 
 // Alive reports whether the node is up.
@@ -44,14 +46,14 @@ func (n *Node) Handle(typ string, h Handler) { n.handlers[typ] = h }
 // it made is forgotten — their timeout events will find nothing to fire.
 func (n *Node) Stop() {
 	n.alive = false
-	n.inflight = make(map[uint64]*call)
+	n.inflight = make(map[uint64]call)
 }
 
 // Restart brings a stopped node back up with its handlers intact and no
 // inflight state, as a process restart would.
 func (n *Node) Restart() {
 	n.alive = true
-	n.inflight = make(map[uint64]*call)
+	n.inflight = make(map[uint64]call)
 }
 
 // Send transmits a one-way message (no correlation, no timeout).
@@ -63,24 +65,18 @@ func (n *Node) Send(to NodeID, typ string, payload any) {
 // Exactly one of onReply/onTimeout fires (neither, if this node dies
 // first). A non-positive timeout uses the runtime default. The MsgID is
 // returned for tests and tracing.
+//
+// The timeout is a typed kernel event carrying a slab slot (see
+// Runtime.timeoutAt), not a closure: protocol-heavy runs park millions of
+// requests, and the expiry bookkeeping itself must not allocate.
 func (n *Node) Request(to NodeID, typ string, payload any, timeout time.Duration, onReply func(Envelope), onTimeout func()) uint64 {
 	if timeout <= 0 {
 		timeout = n.rt.cfg.RPCTimeout
 	}
 	id := n.rt.allocMsgID()
-	n.inflight[id] = &call{onReply: onReply, onTimeout: onTimeout}
+	n.inflight[id] = call{onReply: onReply, onTimeout: onTimeout}
 	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: id, Payload: payload})
-	n.rt.Kernel.After(timeout, func() {
-		c, ok := n.inflight[id]
-		if !ok || !n.alive {
-			return // answered, or we restarted meanwhile
-		}
-		delete(n.inflight, id)
-		n.rt.Metrics.Timeouts++
-		if c.onTimeout != nil {
-			c.onTimeout()
-		}
-	})
+	n.rt.timeoutAt(timeout, n.ID, id)
 	return id
 }
 
@@ -104,6 +100,20 @@ func (n *Node) deliver(env Envelope) {
 	}
 	if h, ok := n.handlers[env.Type]; ok {
 		h(n, env)
+	}
+}
+
+// expire fires a request timeout at this node: the mirror of the response
+// path in deliver, reached through the runtime's typed timeout event.
+func (n *Node) expire(msgID uint64) {
+	c, ok := n.inflight[msgID]
+	if !ok || !n.alive {
+		return // answered, or we restarted meanwhile
+	}
+	delete(n.inflight, msgID)
+	n.rt.Metrics.Timeouts++
+	if c.onTimeout != nil {
+		c.onTimeout()
 	}
 }
 

@@ -3,6 +3,8 @@ package p2p
 import (
 	"fmt"
 	"slices"
+	"sort"
+	"time"
 
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/rng"
@@ -16,6 +18,12 @@ import (
 // measured in virtual time equals the matrix entry exactly (at nanosecond
 // resolution) — which is what makes ping-over-messages interchangeable
 // with the static simulator's Probe.
+//
+// The send path is allocation-free in steady state: an envelope in flight
+// is parked by value in a free-list slab and delivery is scheduled as a
+// typed kernel event (sim.AfterHandler) carrying the slot index — no
+// closure, no boxing, no per-message allocation once the slab and the
+// event queue have grown to the workload's high-water mark.
 type Runtime struct {
 	// Kernel is the discrete-event clock all activity runs on.
 	Kernel *sim.Sim
@@ -25,9 +33,28 @@ type Runtime struct {
 	cfg       Config
 	m         latency.Matrix
 	lossSrc   *rng.Source
-	nodes     map[NodeID]*Node
-	groups    map[string][]NodeID
+	nodes     []*Node // dense: node IDs are matrix indices; nil = unregistered
+	groups    map[string]*group
 	nextMsgID uint64
+
+	// deliverH + the slab implement the zero-alloc send path.
+	deliverH sim.HandlerID
+	slab     []Envelope
+	slabFree []uint32
+
+	// timeoutH + tSlab do the same for request expiries.
+	timeoutH sim.HandlerID
+	tSlab    []timeoutRec
+	tFree    []uint32
+
+	// mcScratch is Multicast's reusable recipient buffer.
+	mcScratch []NodeID
+}
+
+// timeoutRec is one pending request expiry parked in the timeout slab.
+type timeoutRec struct {
+	node  NodeID
+	msgID uint64
 }
 
 // New creates a runtime over a latency matrix. The seed drives only the
@@ -39,13 +66,43 @@ func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
 	if cfg.RPCTimeout <= 0 {
 		cfg.RPCTimeout = DefaultConfig().RPCTimeout
 	}
-	return &Runtime{
+	r := &Runtime{
 		Kernel:  kernel,
 		cfg:     cfg,
 		m:       m,
 		lossSrc: rng.New(seed).Split("loss"),
-		nodes:   make(map[NodeID]*Node),
-		groups:  make(map[string][]NodeID),
+		nodes:   make([]*Node, m.N()),
+		groups:  make(map[string]*group),
+	}
+	r.deliverH = kernel.RegisterHandler(r.deliverSlot)
+	r.timeoutH = kernel.RegisterHandler(r.expireSlot)
+	return r
+}
+
+// timeoutAt schedules a request expiry as a typed kernel event: the
+// (node, msgID) pair parks in the timeout slab and the slot index rides
+// the event — no closure per request.
+func (r *Runtime) timeoutAt(d time.Duration, node NodeID, msgID uint64) {
+	var slot uint32
+	if n := len(r.tFree); n > 0 {
+		slot = r.tFree[n-1]
+		r.tFree = r.tFree[:n-1]
+		r.tSlab[slot] = timeoutRec{node: node, msgID: msgID}
+	} else {
+		r.tSlab = append(r.tSlab, timeoutRec{node: node, msgID: msgID})
+		slot = uint32(len(r.tSlab) - 1)
+	}
+	r.Kernel.AfterHandler(d, r.timeoutH, uint64(slot))
+}
+
+// expireSlot is the registered handler completing a timeout: the node
+// decides whether the request is still outstanding (a response that
+// arrived first deleted the inflight entry and wins the race).
+func (r *Runtime) expireSlot(arg uint64) {
+	rec := r.tSlab[arg]
+	r.tFree = append(r.tFree, uint32(arg))
+	if n := r.node(rec.node); n != nil {
+		n.expire(rec.msgID)
 	}
 }
 
@@ -62,7 +119,7 @@ func (r *Runtime) AddNode(id NodeID) *Node {
 	if int(id) < 0 || int(id) >= r.m.N() {
 		panic(fmt.Sprintf("p2p: node %d outside matrix population %d", id, r.m.N()))
 	}
-	if n, ok := r.nodes[id]; ok {
+	if n := r.nodes[id]; n != nil {
 		return n
 	}
 	n := &Node{
@@ -70,7 +127,7 @@ func (r *Runtime) AddNode(id NodeID) *Node {
 		rt:       r,
 		alive:    true,
 		handlers: make(map[string]Handler),
-		inflight: make(map[uint64]*call),
+		inflight: make(map[uint64]call),
 	}
 	n.Handle(MsgPing, func(n *Node, env Envelope) {
 		n.Reply(env, MsgPong, nil)
@@ -79,48 +136,221 @@ func (r *Runtime) AddNode(id NodeID) *Node {
 	return n
 }
 
+// node is the bounds-checked registry lookup: ids outside the matrix
+// population are simply unregistered, as they were with the map registry.
+func (r *Runtime) node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(r.nodes) {
+		return nil
+	}
+	return r.nodes[id]
+}
+
 // Node returns the registered node for id, or nil.
-func (r *Runtime) Node(id NodeID) *Node { return r.nodes[id] }
+func (r *Runtime) Node(id NodeID) *Node { return r.node(id) }
 
 // Alive reports whether id is registered and up.
 func (r *Runtime) Alive(id NodeID) bool {
-	n := r.nodes[id]
+	n := r.node(id)
 	return n != nil && n.alive
+}
+
+// group is one multicast group: the membership, sorted ascending by
+// NodeID (the stable delivery order the wire studies replay against), and
+// per-sender latency indexes built lazily the first time a sender
+// multicasts (see senderIndex).
+type group struct {
+	members []NodeID
+	senders map[NodeID]*senderIndex
+}
+
+// senderIndex orders one sender's view of a group by (RTT, NodeID)
+// ascending, so an expanding-ring round with radius r is a binary-searched
+// prefix instead of an O(members) rescan pricing every link again. The
+// index is maintained incrementally on join/leave; node aliveness is
+// checked at send time, so churn that only toggles liveness never touches
+// it.
+type senderIndex struct {
+	rtts []float64
+	ids  []NodeID
+}
+
+// maxSenderIndexes bounds the per-group index cache. Each index is
+// O(members) memory; every study multicasts from a bounded target set
+// (≤ ~100), so the cap exists only to keep a pathological many-sender
+// workload from holding senders × members floats. Senders beyond the cap
+// fall back to the linear scan — same copies, same order, same figures.
+const maxSenderIndexes = 256
+
+// searchPair returns the insertion position of (rtt, id) in the index's
+// (RTT, NodeID)-ascending order. Hand-rolled binary search: sort.Search
+// would force the bounds into a closure on every call.
+func (x *senderIndex) searchPair(rtt float64, id NodeID) int {
+	lo, hi := 0, len(x.rtts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.rtts[mid] < rtt || (x.rtts[mid] == rtt && x.ids[mid] < id) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// prefixLen returns how many leading index entries have RTT <= radius.
+func (x *senderIndex) prefixLen(radius float64) int {
+	lo, hi := 0, len(x.rtts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.rtts[mid] <= radius {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insert adds (rtt, id) keeping the (RTT, NodeID) order.
+func (x *senderIndex) insert(rtt float64, id NodeID) {
+	i := x.searchPair(rtt, id)
+	x.rtts = slices.Insert(x.rtts, i, rtt)
+	x.ids = slices.Insert(x.ids, i, id)
+}
+
+// remove deletes (rtt, id) if present.
+func (x *senderIndex) remove(rtt float64, id NodeID) {
+	i := x.searchPair(rtt, id)
+	if i < len(x.ids) && x.ids[i] == id && x.rtts[i] == rtt {
+		x.rtts = slices.Delete(x.rtts, i, i+1)
+		x.ids = slices.Delete(x.ids, i, i+1)
+	}
 }
 
 // JoinGroup subscribes a node to a named multicast group (the well-known
 // group of the Section 5 expanding search). Idempotent. Membership is kept
 // sorted by NodeID with a binary-search insert — O(log n) lookup, O(n)
-// insert — so registering a 100k-host population no longer re-sorts the
-// whole slice per join, and Multicast's delivery order stays stable
-// (ascending NodeID) no matter the join order.
-func (r *Runtime) JoinGroup(group string, id NodeID) {
-	ms := r.groups[group]
-	i, ok := slices.BinarySearch(ms, id)
+// insert — so registering a 100k-host population never re-sorts the whole
+// slice per join, and Multicast's delivery order stays stable (ascending
+// NodeID) no matter the join order. Existing sender indexes are patched
+// incrementally rather than rebuilt.
+func (r *Runtime) JoinGroup(gname string, id NodeID) {
+	g := r.groups[gname]
+	if g == nil {
+		g = &group{}
+		r.groups[gname] = g
+	}
+	i, ok := slices.BinarySearch(g.members, id)
 	if ok {
 		return
 	}
-	r.groups[group] = slices.Insert(ms, i, id)
+	g.members = slices.Insert(g.members, i, id)
+	for from, idx := range g.senders {
+		idx.insert(r.RTTms(from, id), id)
+	}
 }
 
-// LeaveGroup removes a node from a multicast group.
-func (r *Runtime) LeaveGroup(group string, id NodeID) {
-	ms := r.groups[group]
-	if i, ok := slices.BinarySearch(ms, id); ok {
-		// The kernel is single-threaded and Multicast never runs user code
-		// mid-iteration, so deleting in place cannot disturb a delivery.
-		r.groups[group] = slices.Delete(ms, i, i+1)
+// LeaveGroup removes a node from a multicast group. The last member's
+// leave deletes the group entry outright — under churn, groups come and
+// go by name, and empty member slices (plus their sender indexes) would
+// otherwise accumulate in the map forever.
+func (r *Runtime) LeaveGroup(gname string, id NodeID) {
+	g := r.groups[gname]
+	if g == nil {
+		return
 	}
+	i, ok := slices.BinarySearch(g.members, id)
+	if !ok {
+		return
+	}
+	// The kernel is single-threaded and Multicast never runs user code
+	// mid-iteration, so deleting in place cannot disturb a delivery.
+	g.members = slices.Delete(g.members, i, i+1)
+	if len(g.members) == 0 {
+		delete(r.groups, gname)
+		return
+	}
+	// Drop the leaver's own sender index too: a churned-out member that
+	// had multicast would otherwise pin two O(members) slices — and one
+	// of the capped sender slots — forever. A rejoin rebuilds the index
+	// with identical values on its next multicast.
+	delete(g.senders, id)
+	for from, idx := range g.senders {
+		idx.remove(r.RTTms(from, id), id)
+	}
+}
+
+// senderIdx returns the sender's latency index over the group, building
+// it on first use. Returns nil when the sender cache is full — the caller
+// falls back to the linear scan.
+func (g *group) senderIdx(r *Runtime, from NodeID) *senderIndex {
+	if idx, ok := g.senders[from]; ok {
+		return idx
+	}
+	if len(g.senders) >= maxSenderIndexes {
+		return nil
+	}
+	if g.senders == nil {
+		g.senders = make(map[NodeID]*senderIndex)
+	}
+	idx := &senderIndex{
+		rtts: make([]float64, len(g.members)),
+		ids:  make([]NodeID, len(g.members)),
+	}
+	for i, m := range g.members {
+		idx.rtts[i] = r.RTTms(from, m)
+		idx.ids[i] = m
+	}
+	sort.Sort((*senderIndexSort)(idx))
+	g.senders[from] = idx
+	return idx
+}
+
+// senderIndexSort sorts a senderIndex by (RTT, NodeID) ascending.
+type senderIndexSort senderIndex
+
+func (s *senderIndexSort) Len() int { return len(s.ids) }
+func (s *senderIndexSort) Less(i, j int) bool {
+	if s.rtts[i] != s.rtts[j] {
+		return s.rtts[i] < s.rtts[j]
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s *senderIndexSort) Swap(i, j int) {
+	s.rtts[i], s.rtts[j] = s.rtts[j], s.rtts[i]
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
 }
 
 // Multicast sends one-way copies of a message to every live group member
 // within radiusMs of the sender (a latency-scoped delivery standing in for
 // TTL-scoped IP multicast). Each copy is priced and lossy like a unicast.
 // It returns the number of copies handed to the transport.
-func (r *Runtime) Multicast(from NodeID, group, typ string, payload any, radiusMs float64) int {
+//
+// The recipient set comes from the sender's latency index: a binary-
+// searched RTT prefix, re-sorted ascending by NodeID into a reusable
+// scratch buffer. That recovers exactly the linear scan's recipient set
+// AND its send order, so the loss model's draw sequence — and with it
+// every figure byte — is unchanged; each expanding-ring round just stops
+// pricing the 99% of a 100k-host population its radius can never reach.
+func (r *Runtime) Multicast(from NodeID, gname, typ string, payload any, radiusMs float64) int {
+	g := r.groups[gname]
+	if g == nil {
+		return 0
+	}
+	r.mcScratch = r.mcScratch[:0]
+	if idx := g.senderIdx(r, from); idx != nil {
+		r.mcScratch = append(r.mcScratch, idx.ids[:idx.prefixLen(radiusMs)]...)
+		slices.Sort(r.mcScratch)
+	} else {
+		for _, m := range g.members {
+			if r.RTTms(from, m) <= radiusMs {
+				r.mcScratch = append(r.mcScratch, m)
+			}
+		}
+	}
 	sent := 0
-	for _, m := range r.groups[group] {
-		if m == from || !r.Alive(m) || r.RTTms(from, m) > radiusMs {
+	for _, m := range r.mcScratch {
+		if m == from || !r.Alive(m) {
 			continue
 		}
 		r.send(Envelope{Type: typ, From: from, To: m, MsgID: r.allocMsgID(), Payload: payload})
@@ -133,6 +363,35 @@ func (r *Runtime) Multicast(from NodeID, group, typ string, payload any, radiusM
 func (r *Runtime) allocMsgID() uint64 {
 	r.nextMsgID++
 	return r.nextMsgID
+}
+
+// slabPut parks an in-flight envelope and returns its slot.
+func (r *Runtime) slabPut(env Envelope) uint32 {
+	if n := len(r.slabFree); n > 0 {
+		slot := r.slabFree[n-1]
+		r.slabFree = r.slabFree[:n-1]
+		r.slab[slot] = env
+		return slot
+	}
+	r.slab = append(r.slab, env)
+	return uint32(len(r.slab) - 1)
+}
+
+// deliverSlot is the registered kernel handler completing a send: it
+// frees the slot first (handlers may send again, reusing it) and then
+// dispatches to the destination's inbox.
+func (r *Runtime) deliverSlot(arg uint64) {
+	slot := uint32(arg)
+	env := r.slab[slot]
+	r.slab[slot] = Envelope{} // release the payload for GC
+	r.slabFree = append(r.slabFree, slot)
+	dst := r.node(env.To)
+	if dst == nil || !dst.alive {
+		r.Metrics.MsgsDead++
+		return
+	}
+	r.Metrics.MsgsDelivered++
+	dst.deliver(env)
 }
 
 // send prices, maybe drops, and schedules delivery of one envelope. The
@@ -157,13 +416,5 @@ func (r *Runtime) send(env Envelope) {
 	if env.Resp {
 		oneWay = rtt - rtt/2
 	}
-	r.Kernel.After(oneWay, func() {
-		dst := r.nodes[env.To]
-		if dst == nil || !dst.alive {
-			r.Metrics.MsgsDead++
-			return
-		}
-		r.Metrics.MsgsDelivered++
-		dst.deliver(env)
-	})
+	r.Kernel.AfterHandler(oneWay, r.deliverH, uint64(r.slabPut(env)))
 }

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"fmt"
 	"slices"
 	"testing"
 	"time"
@@ -228,19 +229,233 @@ func TestGroupMembershipSortedAndIdempotent(t *testing.T) {
 		rt.JoinGroup("g", id)
 	}
 	want := []NodeID{0, 1, 3, 5, 7}
-	if got := rt.groups["g"]; !slices.Equal(got, want) {
+	if got := rt.groups["g"].members; !slices.Equal(got, want) {
 		t.Fatalf("members %v, want sorted %v", got, want)
 	}
 	rt.LeaveGroup("g", 3)
 	rt.LeaveGroup("g", 3) // absent: no-op
 	rt.LeaveGroup("g", 6) // never joined: no-op
 	want = []NodeID{0, 1, 5, 7}
-	if got := rt.groups["g"]; !slices.Equal(got, want) {
+	if got := rt.groups["g"].members; !slices.Equal(got, want) {
 		t.Fatalf("after leaves %v, want %v", got, want)
 	}
 	rt.JoinGroup("g", 3) // re-join lands back in order
-	if got := rt.groups["g"]; !slices.Equal(got, []NodeID{0, 1, 3, 5, 7}) {
+	if got := rt.groups["g"].members; !slices.Equal(got, []NodeID{0, 1, 3, 5, 7}) {
 		t.Fatalf("after re-join %v", got)
+	}
+}
+
+// TestLeaveGroupReleasesEmptyGroups is the churn-leak regression test:
+// before the group rewrite, the last member's leave left an empty slice
+// (and would now leave dead sender indexes) in the groups map forever.
+func TestLeaveGroupReleasesEmptyGroups(t *testing.T) {
+	_, rt := newTestRuntime(t, 8, 0)
+	for i := 0; i < 1000; i++ {
+		gname := fmt.Sprintf("g%d", i)
+		rt.JoinGroup(gname, 1)
+		rt.JoinGroup(gname, 2)
+		rt.Multicast(1, gname, "hello", nil, 1000) // force a sender index
+		rt.LeaveGroup(gname, 1)
+		rt.LeaveGroup(gname, 2)
+	}
+	if n := len(rt.groups); n != 0 {
+		t.Fatalf("%d empty groups retained in the map, want 0", n)
+	}
+	// Leaving a group that never existed stays a no-op.
+	rt.LeaveGroup("never", 1)
+	if len(rt.groups) != 0 {
+		t.Fatal("LeaveGroup on an unknown group materialised it")
+	}
+}
+
+// TestLeaveGroupDropsLeaverSenderIndex: a member that multicast and then
+// left must not pin its sender index (two O(members) slices and one of
+// the capped sender slots) in the group forever.
+func TestLeaveGroupDropsLeaverSenderIndex(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 8, 0)
+	for i := 0; i < 4; i++ {
+		rt.AddNode(NodeID(i))
+		rt.JoinGroup("g", NodeID(i))
+	}
+	rt.Multicast(1, "g", "hello", nil, 1000)
+	kernel.Run()
+	if _, ok := rt.groups["g"].senders[1]; !ok {
+		t.Fatal("multicast did not build a sender index")
+	}
+	rt.LeaveGroup("g", 1)
+	if _, ok := rt.groups["g"].senders[1]; ok {
+		t.Fatal("leaver's sender index retained after LeaveGroup")
+	}
+	// Rejoin + multicast rebuilds it with the same recipients.
+	rt.JoinGroup("g", 1)
+	sent := rt.Multicast(1, "g", "hello", nil, 1000)
+	kernel.Run()
+	if sent != 3 {
+		t.Fatalf("rebuilt index sent %d copies, want 3", sent)
+	}
+}
+
+// TestMulticastIndexMatchesLinearScan cross-checks the binary-searched
+// sender index against the plain scan it replaced: same recipients, same
+// ascending-NodeID send order, across radii, membership changes and
+// aliveness flips.
+func TestMulticastIndexMatchesLinearScan(t *testing.T) {
+	kernel := sim.New()
+	m := latency.NewDense(64)
+	src := rng.New(5)
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j++ {
+			m.Set(i, j, 1+src.Float64()*99)
+		}
+	}
+	rt := New(kernel, m, Config{RPCTimeout: time.Second}, 1)
+	for i := 0; i < 64; i++ {
+		rt.AddNode(NodeID(i))
+		if i%3 != 0 {
+			rt.JoinGroup("g", NodeID(i))
+		}
+	}
+	scan := func(from NodeID, radius float64) []NodeID {
+		var out []NodeID
+		for _, mm := range rt.groups["g"].members {
+			if mm == from || !rt.Alive(mm) || rt.RTTms(from, mm) > radius {
+				continue
+			}
+			out = append(out, mm)
+		}
+		return out
+	}
+	type rcpt struct {
+		id    NodeID
+		msgID uint64
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, from := range []NodeID{0, 1, 31} {
+			for _, radius := range []float64{0, 10, 37.5, 80, 1000} {
+				want := scan(from, radius)
+				var got []rcpt
+				for _, mm := range rt.groups["g"].members {
+					rt.Node(mm).Handle("mc", func(n *Node, env Envelope) {
+						got = append(got, rcpt{n.ID, env.MsgID})
+					})
+				}
+				sent := rt.Multicast(from, "g", "mc", nil, radius)
+				kernel.Run()
+				if sent != len(want) {
+					t.Fatalf("%s: from=%d radius=%v sent %d, scan wants %d", stage, from, radius, sent, len(want))
+				}
+				// Deliveries land in arrival-time order; the invariant the
+				// loss model (and the figures) depend on is the SEND order,
+				// recovered by sorting on the monotonic MsgID.
+				slices.SortFunc(got, func(a, b rcpt) int { return int(a.msgID) - int(b.msgID) })
+				ids := make([]NodeID, len(got))
+				for i, g := range got {
+					ids[i] = g.id
+				}
+				if !slices.Equal(ids, want) {
+					t.Fatalf("%s: from=%d radius=%v sent to %v, scan wants %v", stage, from, radius, ids, want)
+				}
+			}
+		}
+	}
+	check("initial")
+	// Membership churn patches the already-built sender indexes.
+	rt.JoinGroup("g", 0)
+	rt.JoinGroup("g", 33)
+	rt.LeaveGroup("g", 13)
+	rt.LeaveGroup("g", 44)
+	check("after join/leave")
+	// Aliveness is a send-time check, invisible to the index.
+	rt.Node(7).Stop()
+	rt.Node(22).Stop()
+	check("after crashes")
+	rt.Node(7).Restart()
+	check("after restart")
+}
+
+// TestMulticastFallbackBeyondSenderCap: senders past the index cap take
+// the linear path and must behave identically.
+func TestMulticastFallbackBeyondSenderCap(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 600, 0)
+	for i := 0; i < 300; i++ {
+		rt.AddNode(NodeID(i))
+		rt.JoinGroup("g", NodeID(i))
+	}
+	for i := 0; i < maxSenderIndexes+10; i++ {
+		rt.Multicast(NodeID(i%300), "g", "warm", nil, 5)
+	}
+	kernel.Run()
+	if n := len(rt.groups["g"].senders); n != maxSenderIndexes {
+		t.Fatalf("sender cache grew to %d, cap is %d", n, maxSenderIndexes)
+	}
+	// A capped-out sender still reaches the right recipients in the right
+	// send order. Node 599 is not in the cache (it never multicast before
+	// the cap filled); lineMatrix rtt(599, i) = 10*(599-i), so radius 5990
+	// covers every member.
+	rt.AddNode(599)
+	type rcpt struct {
+		id    NodeID
+		msgID uint64
+	}
+	var got []rcpt
+	for i := 0; i < 300; i++ {
+		rt.Node(NodeID(i)).Handle("mc2", func(n *Node, env Envelope) {
+			got = append(got, rcpt{n.ID, env.MsgID})
+		})
+	}
+	sent := rt.Multicast(599, "g", "mc2", nil, 5990)
+	kernel.Run()
+	if sent != 300 || len(got) != 300 {
+		t.Fatalf("capped sender sent %d, delivered %d, want 300/300", sent, len(got))
+	}
+	slices.SortFunc(got, func(a, b rcpt) int { return int(a.msgID) - int(b.msgID) })
+	for i := 1; i < len(got); i++ {
+		if got[i-1].id >= got[i].id {
+			t.Fatal("capped sender send order not ascending NodeID")
+		}
+	}
+}
+
+// TestSendDeliverZeroAlloc is the tentpole's enforcement: a one-way send
+// through delivery must not allocate in steady state. A failing test, not
+// a bench note — the claim cannot silently regress.
+func TestSendDeliverZeroAlloc(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 4, 0)
+	a := rt.AddNode(0)
+	b := rt.AddNode(1)
+	b.Handle("noop", func(*Node, Envelope) {})
+	// Warm the slab and the kernel queue.
+	for i := 0; i < 64; i++ {
+		a.Send(1, "noop", nil)
+	}
+	kernel.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		a.Send(1, "noop", nil)
+		kernel.Run()
+	}); avg != 0 {
+		t.Fatalf("send→deliver allocates %v per message, want 0", avg)
+	}
+}
+
+// TestMulticastRoundZeroAlloc: an expanding-ring round from a warm sender
+// index is allocation-free end to end (scratch buffer, slab and queue all
+// reuse their capacity).
+func TestMulticastRoundZeroAlloc(t *testing.T) {
+	kernel, rt := newTestRuntime(t, 128, 0)
+	for i := 1; i < 128; i++ {
+		rt.AddNode(NodeID(i))
+		rt.JoinGroup("g", NodeID(i))
+		rt.Node(NodeID(i)).Handle("mc", func(*Node, Envelope) {})
+	}
+	rt.AddNode(0)
+	rt.Multicast(0, "g", "mc", nil, 300) // builds the index, warms buffers
+	kernel.Run()
+	if avg := testing.AllocsPerRun(200, func() {
+		rt.Multicast(0, "g", "mc", nil, 300)
+		kernel.Run()
+	}); avg != 0 {
+		t.Fatalf("multicast round allocates %v, want 0", avg)
 	}
 }
 

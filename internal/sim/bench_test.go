@@ -39,3 +39,8 @@ func BenchmarkDeepQueue(b *testing.B) {
 		s.Run()
 	}
 }
+
+// BenchmarkHandlerScheduleRun — the typed-payload twin of
+// BenchmarkScheduleRun (same cascade, no closure, allocation-free steady
+// state) — lives in benchhot_test.go, delegating to internal/benchhot so
+// cmd/benchscale measures the same workload.

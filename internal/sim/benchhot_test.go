@@ -1,0 +1,12 @@
+package sim_test
+
+import (
+	"testing"
+
+	"nearestpeer/internal/benchhot"
+)
+
+// Delegates to internal/benchhot so `go test -bench` and cmd/benchscale
+// (which writes CI's BENCH_scale.json) measure the exact same workload.
+
+func BenchmarkHandlerScheduleRun(b *testing.B) { benchhot.KernelHandlerCascade(b) }

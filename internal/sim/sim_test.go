@@ -179,3 +179,112 @@ func TestAfterZeroFIFO(t *testing.T) {
 		t.Fatalf("ran %d events", len(got))
 	}
 }
+
+func TestHandlerEventsRun(t *testing.T) {
+	s := New()
+	var got []uint64
+	h := s.RegisterHandler(func(arg uint64) { got = append(got, arg) })
+	s.AtHandler(2*time.Millisecond, h, 7)
+	s.AfterHandler(time.Millisecond, h, 3)
+	s.Run()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("handler args = %v, want [3 7]", got)
+	}
+	if s.Executed != 2 {
+		t.Fatalf("executed %d events", s.Executed)
+	}
+}
+
+func TestHandlerAndClosureEventsInterleaveFIFO(t *testing.T) {
+	// Typed events obey the same (at, seq) order as closures: at one
+	// timestamp, scheduling order is execution order regardless of kind.
+	s := New()
+	var got []int
+	h := s.RegisterHandler(func(arg uint64) { got = append(got, int(arg)) })
+	s.AtHandler(time.Millisecond, h, 0)
+	s.At(time.Millisecond, func() { got = append(got, 1) })
+	s.AtHandler(time.Millisecond, h, 2)
+	s.At(time.Millisecond, func() { got = append(got, 3) })
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("interleaved order violated: %v", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("ran %d events", len(got))
+	}
+}
+
+func TestHandlerEventsRunUntil(t *testing.T) {
+	s := New()
+	var got []uint64
+	h := s.RegisterHandler(func(arg uint64) { got = append(got, arg) })
+	s.AtHandler(time.Millisecond, h, 1)
+	s.AtHandler(3*time.Millisecond, h, 2)
+	s.RunUntil(2 * time.Millisecond)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v, want [1]", got)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestRegisterHandlerValidation(t *testing.T) {
+	s := New()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("RegisterHandler(nil)", func() { s.RegisterHandler(nil) })
+	mustPanic("unregistered handler", func() { s.AtHandler(0, 5, 0) })
+	h := s.RegisterHandler(func(uint64) {})
+	s.now = time.Second
+	mustPanic("scheduling in the past", func() { s.AtHandler(0, h, 0) })
+	mustPanic("negative delay", func() { s.AfterHandler(-time.Millisecond, h, 0) })
+}
+
+// TestHandlerScheduleZeroAlloc is the point of the typed representation:
+// steady-state scheduling plus dispatch of a handler event allocates
+// nothing (the queue's capacity is retained across drains).
+func TestHandlerScheduleZeroAlloc(t *testing.T) {
+	s := New()
+	h := s.RegisterHandler(func(uint64) {})
+	// Warm the queue capacity.
+	for i := 0; i < 64; i++ {
+		s.AfterHandler(time.Duration(i)*time.Microsecond, h, uint64(i))
+	}
+	s.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.AfterHandler(time.Microsecond, h, 1)
+		s.Run()
+	}); avg != 0 {
+		t.Fatalf("handler schedule+run allocates %v per event, want 0", avg)
+	}
+}
+
+func TestAtNilPanics(t *testing.T) {
+	// nil fn is the typed-event discriminator: letting it into the queue
+	// would silently dispatch handler 0 with arg 0 instead of failing at
+	// the buggy call site.
+	s := New()
+	for name, fn := range map[string]func(){
+		"At":    func() { s.At(0, nil) },
+		"After": func() { s.After(0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s(nil) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
