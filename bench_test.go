@@ -246,3 +246,26 @@ func BenchmarkScaleStudySmoke(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkVivaldiStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.VivaldiStudy(benchScale(), benchSeed)
+		if i == 0 {
+			report("vivaldi-v1", r.Render())
+		}
+	}
+}
+
+// BenchmarkVivaldiStudySmoke is the CI smoke slice of v1: one 400-host
+// population, all five conditions of the grid (the mitigation-companion
+// rows ride along at quick scale), few searches. CI runs it at
+// -benchtime=1x so a regression in the wire Vivaldi protocol or the study
+// fails the build without paying for the full sweep.
+func BenchmarkVivaldiStudySmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.VivaldiStudyAt([]int{400}, 10, experiments.Quick, benchSeed)
+		if i == 0 {
+			report("vivaldi-v1-smoke", r.Render())
+		}
+	}
+}

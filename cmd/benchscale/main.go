@@ -8,10 +8,10 @@
 // shared body from internal/benchhot — the same code the per-package
 // `go test -bench` benchmarks of the same names run, so the CI numbers
 // and local bench runs stay comparable by construction: the send→deliver
-// path and a multicast round (both with their zero-allocs-per-op claims),
-// the netmodel pricing fast path and pair cache, the kernel's typed-event
-// loop, and the 1k-host slice of the s1 scale study with its events/sec
-// throughput.
+// path, a multicast round and a Vivaldi gossip round (all three with their
+// zero-allocs-per-op claims), the netmodel pricing fast path and pair
+// cache, the kernel's typed-event loop, and the 1k-host slice of the s1
+// scale study with its events/sec throughput.
 //
 // Usage:
 //
@@ -82,6 +82,7 @@ func main() {
 	run("send_deliver", benchhot.SendDeliver)
 	run("request_reply", benchhot.RequestReply)
 	run("multicast_round", benchhot.MulticastRound)
+	run("vivaldi_gossip_round", benchhot.VivaldiGossipRound)
 	run("tree_one_way_ms", func(b *testing.B) { benchhot.TreeOneWayMs(b, top) })
 	run("rtt_cache_hit", func(b *testing.B) { benchhot.RTTCacheHit(b, top) })
 	run("kernel_handler_cascade", benchhot.KernelHandlerCascade)

@@ -32,10 +32,10 @@ func main() {
 		run  func() string
 	}
 	env := func() *experiments.Env { return experiments.SharedEnv(scale, *seed) }
-	// s1's wall-clock view is printed to the terminal but never written to
-	// the figure file: elapsed time is not deterministic, and figure files
-	// must be byte-identical across -workers.
-	var s1Timing string
+	// s1's and v1's wall-clock views are printed to the terminal but never
+	// written to the figure file: elapsed time is not deterministic, and
+	// figure files must be byte-identical across -workers.
+	var s1Timing, v1Timing string
 	list := []experiment{
 		{"table1", func() string { return experiments.Table1(env()).Render() }},
 		{"fig3", func() string { return experiments.Fig3(env()).Render() }},
@@ -60,6 +60,11 @@ func main() {
 			s1Timing = r.RenderTiming()
 			return r.Render()
 		}},
+		{"v1", func() string {
+			r := experiments.VivaldiStudy(scale, *seed)
+			v1Timing = r.RenderTiming()
+			return r.Render()
+		}},
 	}
 
 	if *outDir != "" {
@@ -77,6 +82,9 @@ func main() {
 		fmt.Printf("==== %s (scale=%s, %v) ====\n%s\n", e.name, scale, time.Since(start).Round(time.Millisecond), text)
 		if e.name == "s1" && s1Timing != "" {
 			fmt.Println(s1Timing)
+		}
+		if e.name == "v1" && v1Timing != "" {
+			fmt.Println(v1Timing)
 		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, e.name+".txt")

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	algo := flag.String("algo", "meridian",
-		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing; with -runtime also ucl | ipprefix | chord")
+		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing; with -runtime: meridian | ucl | ipprefix | chord | vivaldi")
 	ens := flag.Int("ens", 125, "end-networks per cluster")
 	peers := flag.Int("peers", 2500, "total peer population")
 	delta := flag.Float64("delta", 0.2, "intra-cluster latency variation δ")
@@ -69,13 +69,14 @@ func main() {
 		switch *algo {
 		case "meridian", "chord":
 			// Both run on the clustered matrix built below.
-		case "ucl", "ipprefix":
-			// The hint schemes run on the measurement topology: dispatch
-			// before the (large, unused here) clustered matrix is built.
+		case "ucl", "ipprefix", "vivaldi":
+			// The hint schemes and the coordinate gossip run on the
+			// measurement topology: dispatch before the (large, unused
+			// here) clustered matrix is built.
 			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed)
 			return
 		default:
-			fmt.Fprintf(os.Stderr, "-runtime supports -algo meridian|ucl|ipprefix|chord (got %q)\n", *algo)
+			fmt.Fprintf(os.Stderr, "-runtime supports -algo meridian|ucl|ipprefix|chord|vivaldi (got %q)\n", *algo)
 			os.Exit(2)
 		}
 	}
@@ -195,9 +196,11 @@ func runScaleStudy(hosts, queries int, seed int64) {
 }
 
 // runWireMitigation resolves nearest-peer queries through a Section 5 hint
-// scheme (UCL or IP-prefix) running over the message-level Chord DHT, on
-// the measurement topology (the hint schemes need routers and IP prefixes,
-// which the synthetic clustered matrix does not have).
+// scheme (UCL or IP-prefix, over the message-level Chord DHT) or the
+// Vivaldi coordinate gossip, on the measurement topology (the hint schemes
+// need routers and IP prefixes, which the synthetic clustered matrix does
+// not have; for vivaldi the publish column reports the gossip warm-up
+// bill, lookups are walks and hops are walk steps).
 func runWireMitigation(scheme string, peers, queries int, loss float64, churn bool, seed int64) {
 	const maxPeers, maxQueries = 600, 300
 	if peers > maxPeers {

@@ -1,0 +1,91 @@
+package dht_test
+
+// Fuzz targets for the ring arithmetic every Chord deployment in this
+// repository routes with (the static Ring and the message-level
+// internal/p2p port both import these). The reference implementations are
+// derived independently over math/big — actual modular arithmetic on the
+// 2^64 ring, not a re-statement of the uint64 tricks under test — so a
+// wrap-around bug cannot hide in both sides at once.
+//
+// The seed corpus under testdata/fuzz replays as ordinary tests in every
+// `go test` run (and CI runs them explicitly); `go test -fuzz=FuzzRing`
+// explores beyond it.
+
+import (
+	"math/big"
+	"testing"
+
+	"nearestpeer/internal/dht"
+)
+
+var ringMod = new(big.Int).Lsh(big.NewInt(1), 64)
+
+// refRingDist is the clockwise distance (b - a) mod 2^64 over math/big.
+func refRingDist(a, b uint64) uint64 {
+	d := new(big.Int).Sub(new(big.Int).SetUint64(b), new(big.Int).SetUint64(a))
+	d.Mod(d, ringMod)
+	return d.Uint64()
+}
+
+// refBetween: x ∈ (a, b) on the ring iff 0 < dist(a,x) < dist(a,b), where
+// the degenerate a == b interval is the whole ring minus a (dist 2^64).
+func refBetween(x, a, b uint64) bool {
+	dx := new(big.Int).Sub(new(big.Int).SetUint64(x), new(big.Int).SetUint64(a))
+	dx.Mod(dx, ringMod)
+	db := new(big.Int).Sub(new(big.Int).SetUint64(b), new(big.Int).SetUint64(a))
+	db.Mod(db, ringMod)
+	if db.Sign() == 0 {
+		db = ringMod // a == b: full ring
+	}
+	return dx.Sign() > 0 && dx.Cmp(db) < 0
+}
+
+// ringSeeds are the corner cases every interval predicate gets wrong first.
+func ringSeeds(f *testing.F) {
+	const maxU = ^uint64(0)
+	for _, s := range [][3]uint64{
+		{0, 0, 0}, {1, 0, 0}, {0, 1, 1}, {5, 3, 9}, {3, 3, 9}, {9, 3, 9},
+		{1, 9, 3}, {0, 9, 3}, {maxU, 9, 3}, {maxU, maxU - 1, 1},
+		{0, maxU, 1}, {maxU, 0, maxU}, {1 << 63, 0, maxU},
+	} {
+		f.Add(s[0], s[1], s[2])
+	}
+}
+
+// FuzzRingInterval cross-checks Between and BetweenRightIncl against the
+// big.Int reference.
+func FuzzRingInterval(f *testing.F) {
+	ringSeeds(f)
+	f.Fuzz(func(t *testing.T, x, a, b uint64) {
+		if got, want := dht.Between(x, a, b), refBetween(x, a, b); got != want {
+			t.Fatalf("Between(%d, %d, %d) = %v, big.Int reference %v", x, a, b, got, want)
+		}
+		wantIncl := x == b || refBetween(x, a, b)
+		if got := dht.BetweenRightIncl(x, a, b); got != wantIncl {
+			t.Fatalf("BetweenRightIncl(%d, %d, %d) = %v, big.Int reference %v", x, a, b, got, wantIncl)
+		}
+	})
+}
+
+// FuzzRingDist cross-checks RingDist against the big.Int reference and its
+// algebra: distances around the ring sum to zero, and Between is exactly
+// the strict-distance formulation.
+func FuzzRingDist(f *testing.F) {
+	ringSeeds(f)
+	f.Fuzz(func(t *testing.T, x, a, b uint64) {
+		if got, want := dht.RingDist(a, b), refRingDist(a, b); got != want {
+			t.Fatalf("RingDist(%d, %d) = %d, big.Int reference %d", a, b, got, want)
+		}
+		if dht.RingDist(a, b)+dht.RingDist(b, a) != 0 {
+			t.Fatalf("RingDist(%d,%d) + RingDist(%d,%d) != 0 mod 2^64", a, b, b, a)
+		}
+		if dht.RingDist(a, a) != 0 {
+			t.Fatalf("RingDist(%d,%d) != 0", a, a)
+		}
+		// Strict-distance formulation of the open interval.
+		wantBetween := x != a && (a == b || dht.RingDist(a, x) < dht.RingDist(a, b))
+		if got := dht.Between(x, a, b); got != wantBetween {
+			t.Fatalf("Between(%d, %d, %d) = %v, distance formulation %v", x, a, b, got, wantBetween)
+		}
+	})
+}

@@ -74,4 +74,18 @@ func TestGoldenQuickFigures(t *testing.T) {
 	t.Run("s1", func(t *testing.T) {
 		checkGolden(t, "golden_s1_quick.txt", ScaleStudy(Quick, 1).Render())
 	})
+	// v1 runs at two worker counts like c1: the acceptance bar for the
+	// Vivaldi study is byte-identical output across -workers, witnessed by
+	// the same golden.
+	t.Run("v1", func(t *testing.T) {
+		prev := engine.SetWorkers(1)
+		defer engine.SetWorkers(prev)
+		serial := VivaldiStudy(Quick, 1).Render()
+		engine.SetWorkers(8)
+		parallel := VivaldiStudy(Quick, 1).Render()
+		if serial != parallel {
+			t.Fatalf("v1 differs between -workers=1 and -workers=8:\n--- w=1 ---\n%s\n--- w=8 ---\n%s", serial, parallel)
+		}
+		checkGolden(t, "golden_v1_quick.txt", serial)
+	})
 }

@@ -99,7 +99,8 @@ func sequenceOps(kernel *sim.Sim, count int, issue func(op int, live func() bool
 
 // MitigationOpts configures one wire mitigation run.
 type MitigationOpts struct {
-	// Scheme is "ucl" or "ipprefix".
+	// Scheme is "ucl", "ipprefix" or "vivaldi" (the coordinate scheme of
+	// the v1 study, routed through the same methodology).
 	Scheme string
 	// Loss is the one-way packet loss probability.
 	Loss float64
@@ -192,6 +193,10 @@ func runStaticMitigationTools(env *Env, tools *measure.Tools, scheme string, pee
 	var find func(p netmodel.HostID) (found bool, peer netmodel.HostID, probes, lookups int)
 	var hops func() int64
 	switch scheme {
+	case "vivaldi":
+		// The coordinate scheme has no DHT and no measurement toolkit —
+		// its baseline reads RTTs off the matrix oracle directly.
+		return runStaticVivaldiMitigation(env, peers, queries, seed)
 	case "ucl":
 		sys := ucl.New(tools, addrs, env.VantageHosts(), ucl.DefaultConfig())
 		for _, p := range peers {
@@ -280,6 +285,12 @@ func nearestLivePeerMs(env *Env, peers []netmodel.HostID, target netmodel.HostID
 // back in republish their hints (soft state); hints of departed peers stay
 // behind and cost dead probes.
 func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+	if opts.Scheme == "vivaldi" {
+		// The coordinate scheme runs its own overlay (gossip coordinates
+		// instead of a Chord ring of hints); same topology, same query
+		// stream, same scoring — see vivaldistudy.go.
+		return runWireVivaldiMitigation(env, peers, opts)
+	}
 	if opts.Horizon <= 0 {
 		opts.Horizon = 2 * time.Hour
 	}

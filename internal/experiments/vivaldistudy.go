@@ -1,0 +1,583 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"nearestpeer/internal/engine"
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/p2p"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+	"nearestpeer/internal/stats"
+	"nearestpeer/internal/vivaldi"
+)
+
+// This file is the Vivaldi study (figure v1): do synthetic coordinates
+// survive the wire? The static internal/vivaldi embedding — an oracle that
+// reads every RTT noiselessly off the matrix — is compared against
+// vivaldi.Wire, the gossip deployment over internal/p2p, under 0%/5% loss
+// and churn at growing host counts. Two views: a (population, condition)
+// grid scoring embedding error and nearest-peer stretch on scale-study
+// topologies, and a mitigation-companion table running the coordinate
+// search through the exact c2 methodology so vivaldi sits beside the UCL
+// and IP-prefix rows. Every cell and row is one engine trial; the figure is
+// byte-identical at any -workers (wall-clock lives in RenderTiming).
+
+// vivaldiWarmup is the wire runs' gossip warm-up: at the default 2 s gossip
+// period each member collects ~240 samples, the static build's 60×4 budget.
+const vivaldiWarmup = 8 * time.Minute
+
+// vivaldiStudyHorizon caps a cell's virtual time as a watchdog.
+const vivaldiStudyHorizon = 4 * time.Hour
+
+// VivaldiCell is one (population, condition) cell of the v1 grid.
+type VivaldiCell struct {
+	// Cond names the wire condition ("static (function calls)",
+	// "messages, loss=5%", ...).
+	Cond string
+	// Nominal is the requested population; Hosts the generated topology's
+	// actual host count; Members the coordinate-system membership.
+	Nominal, Hosts, Members int
+	// Queries is the number of nearest-peer searches actually issued.
+	Queries int
+	// MedianErr is the embedding quality at end of run: median
+	// |predicted-true|/true over sampled live member pairs.
+	MedianErr float64
+	// PExact is P(found peer is the true nearest live member); Found the
+	// fraction of searches returning any peer; MedianStretch the median of
+	// found-RTT / true-nearest-RTT over found searches.
+	PExact, Found, MedianStretch float64
+	// MeanProbes is query-time RTT measurements per search (placement plus
+	// verification); MeanMsgs wire messages per search, maintenance
+	// included; GossipMsgsPerNode the warm-up gossip bill. Static cells
+	// have no wire: all three are 0 except MeanProbes.
+	MeanProbes, MeanMsgs, GossipMsgsPerNode float64
+	// Timeouts totals RPC timeouts; Leaves/Joins count churn events;
+	// Events is the kernel events the cell executed (0 static).
+	Timeouts      int64
+	Leaves, Joins int
+	Events        uint64
+	// WallMs and QPS are the only non-deterministic fields, reported by
+	// RenderTiming and excluded from Render.
+	WallMs, QPS float64
+}
+
+// VivaldiStudyResult is the figure v1 output: the grid plus the
+// mitigation-companion rows.
+type VivaldiStudyResult struct {
+	Seed    int64
+	Queries int
+	Cells   []VivaldiCell
+	// MitPeers/MitQueries size the companion table; MitRows are the c2
+	// methodology's rows for the vivaldi scheme (static + four wire
+	// conditions).
+	MitPeers, MitQueries int
+	MitThresholdMs       float64
+	MitRows              []MitigationRow
+}
+
+// vivaldiStudySizes returns the population sweep per scale: Full reaches
+// the 1k/10k hosts the study quotes; Quick stays inside CI budgets.
+func vivaldiStudySizes(s Scale) []int {
+	if s == Full {
+		return []int{1000, 10000}
+	}
+	return []int{400, 1000}
+}
+
+// vivaldiStudyQueries returns the searches per cell.
+func vivaldiStudyQueries(s Scale) int {
+	if s == Full {
+		return 100
+	}
+	return 40
+}
+
+// vivaldiStudyConditions is the shared condition list (the c1/c2 table).
+func vivaldiStudyConditions() []wireCondition {
+	return []wireCondition{
+		{name: "static (function calls)", static: true},
+		{name: "messages, loss=0%"},
+		{name: "messages, loss=5%", loss: 0.05},
+		{name: "messages, churn", churn: true},
+		{name: "messages, loss=5% + churn", loss: 0.05, churn: true},
+	}
+}
+
+// VivaldiStudy runs the study at the scale's default sweep.
+func VivaldiStudy(scale Scale, seed int64) *VivaldiStudyResult {
+	return VivaldiStudyAt(vivaldiStudySizes(scale), vivaldiStudyQueries(scale), scale, seed)
+}
+
+// VivaldiStudyAt runs the study over explicit population sizes. Topologies
+// are generated once per size and shared read-only; the (size, condition)
+// grid and the mitigation-companion rows then fan out across the engine
+// pool. Everything in the result except WallMs/QPS is a pure function of
+// (sizes, queries, scale, seed).
+func VivaldiStudyAt(sizes []int, queries int, scale Scale, seed int64) *VivaldiStudyResult {
+	tops := engine.Map(engine.Config{Seed: seed, Label: "v1-topo"}, sizes,
+		func(_ *engine.Trial, target int) *netmodel.Topology {
+			return netmodel.Generate(scaleTopoConfig(target), seed+int64(target))
+		})
+
+	type cellSpec struct {
+		cond    wireCondition
+		nominal int
+		top     *netmodel.Topology
+	}
+	var specs []cellSpec
+	for i, target := range sizes {
+		for _, c := range vivaldiStudyConditions() {
+			specs = append(specs, cellSpec{c, target, tops[i]})
+		}
+	}
+	out := &VivaldiStudyResult{Seed: seed, Queries: queries}
+	out.Cells = engine.Map(engine.Config{Seed: seed, Label: "v1"}, specs,
+		func(_ *engine.Trial, s cellSpec) VivaldiCell {
+			// Each cell owns its matrix and therefore its RTT cache; the
+			// topology is shared read-only.
+			m := (&latency.FullTopologyMatrix{Top: s.top}).EnableRTTCache(0)
+			start := time.Now()
+			var cell VivaldiCell
+			if s.cond.static {
+				cell = vivaldiStaticCell(m, queries, seed)
+			} else {
+				cell = vivaldiWireCell(m, s.cond, queries, seed)
+			}
+			cell.Cond = s.cond.name
+			cell.Nominal = s.nominal
+			cell.Hosts = m.N()
+			cell.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+			if cell.WallMs > 0 && cell.Queries > 0 {
+				cell.QPS = float64(cell.Queries) / (cell.WallMs / 1000)
+			}
+			return cell
+		})
+
+	// Mitigation companion: the coordinate search through the exact c2
+	// methodology (same peers, same query stream, same scoring), so the
+	// vivaldi rows read side by side with the ucl/ipprefix rows of c2.
+	env := SharedEnv(scale, seed)
+	nPeers, mitQueries := mitigationParams(scale)
+	peers := MitigationPeers(env, nPeers)
+	out.MitPeers, out.MitQueries, out.MitThresholdMs = len(peers), mitQueries, mitigationNearMs
+	out.MitRows = engine.Map(engine.Config{Seed: seed, Label: "v1-mit"}, vivaldiStudyConditions(),
+		func(_ *engine.Trial, c wireCondition) MitigationRow {
+			if c.static {
+				return runStaticVivaldiMitigation(env, peers, mitQueries, seed)
+			}
+			row := RunWireMitigation(env, peers, MitigationOpts{
+				Scheme: "vivaldi", Loss: c.loss, Churn: c.churn,
+				Queries: mitQueries, Seed: seed,
+			})
+			row.Name = "vivaldi " + c.name
+			return row
+		})
+	return out
+}
+
+// embeddingMedianErr scores an embedding against the matrix: median
+// |predicted-true|/true over randomly sampled member pairs whose
+// coordinates exist.
+func embeddingMedianErr(src *rng.Source, members []int, coordOf func(int) *vivaldi.Coord, m latency.Matrix, samples int) float64 {
+	var errs []float64
+	for i := 0; i < samples; i++ {
+		a := members[src.Intn(len(members))]
+		b := members[src.Intn(len(members))]
+		if a == b {
+			continue
+		}
+		ca, cb := coordOf(a), coordOf(b)
+		actual := m.LatencyMs(a, b)
+		if ca == nil || cb == nil || actual <= 0 {
+			continue
+		}
+		errs = append(errs, math.Abs(ca.DistanceMs(cb)-actual)/actual)
+	}
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	return stats.Median(errs)
+}
+
+// vivaldiEmbeddingSamples is the pair-sample budget of the embedding-error
+// measurement.
+const vivaldiEmbeddingSamples = 600
+
+// vivaldiStaticCell runs the matrix-fed oracle: Build over the members
+// (maintenance probes), then the static coordinate Finder per query.
+func vivaldiStaticCell(m latency.Matrix, queries int, seed int64) VivaldiCell {
+	members, targets := scaleSplit(m.N(), seed+1)
+	net := overlay.NewNetwork(m)
+	sys := vivaldi.Build(net, members, vivaldi.DefaultConfig(), seed+2)
+	f := &vivaldi.Finder{Sys: sys, PlacementProbes: 16, VerifyTop: 8}
+	src := rng.New(seed + 3)
+	exact, found := 0, 0
+	var probes int64
+	var stretches []float64
+	net.ResetQueryProbes()
+	for q := 0; q < queries; q++ {
+		tgt := targets[src.Intn(len(targets))]
+		oracle := overlay.TrueNearest(m, tgt, members)
+		res := f.FindNearest(tgt)
+		probes += res.Probes
+		if res.Peer >= 0 {
+			found++
+			trueMs := m.LatencyMs(tgt, res.Peer)
+			if res.Peer == oracle.Peer {
+				exact++
+			}
+			if oracle.LatencyMs > 0 {
+				stretches = append(stretches, trueMs/oracle.LatencyMs)
+			}
+		}
+	}
+	n := float64(queries)
+	cell := VivaldiCell{
+		Members:    len(members),
+		Queries:    queries,
+		PExact:     float64(exact) / n,
+		Found:      float64(found) / n,
+		MeanProbes: float64(probes) / n,
+		MedianErr: embeddingMedianErr(rng.New(seed+4), members,
+			func(id int) *vivaldi.Coord { return sys.CoordOf(id) }, m, vivaldiEmbeddingSamples),
+	}
+	if len(stretches) > 0 {
+		cell.MedianStretch = stats.Median(stretches)
+	}
+	return cell
+}
+
+// vivaldiWireCell runs the gossip deployment: members join the coordinate
+// overlay, gossip through the warm-up, then sequential coordinate-guided
+// searches from held-out targets under the asked-for loss and churn. The
+// embedding is scored at end of run over the members still live.
+func vivaldiWireCell(m latency.Matrix, cond wireCondition, queries int, seed int64) VivaldiCell {
+	kernel := sim.New()
+	rt := p2p.New(kernel, m, p2p.Config{LossProb: cond.loss}, seed)
+	wcfg := vivaldi.DefaultWireConfig()
+	wcfg.Horizon = vivaldiStudyHorizon
+	w := vivaldi.NewWire(rt, wcfg, seed+1)
+	members, targets := scaleSplit(m.N(), seed+1)
+	ids := make([]p2p.NodeID, len(members))
+	for i, id := range members {
+		ids[i] = p2p.NodeID(id)
+		w.Join(p2p.NodeID(id))
+	}
+	for _, id := range targets {
+		rt.AddNode(p2p.NodeID(id))
+	}
+
+	var churn *p2p.Churn
+	if cond.churn {
+		ccfg := experimentChurnConfig()
+		ccfg.Horizon = vivaldiStudyHorizon
+		churn = p2p.NewChurn(rt, ccfg, seed+2)
+		churn.OnLeave = func(id p2p.NodeID, graceful bool) { w.Leave(id, graceful) }
+		churn.OnJoin = func(id p2p.NodeID) { w.Join(id) }
+	}
+
+	cell := VivaldiCell{Members: len(members)}
+	src := rng.New(seed + 3)
+	exact, found := 0, 0
+	var stretches []float64
+	// queryMsgsStart doubles as the warm-up gossip bill: everything sent
+	// before the first query is maintenance.
+	var queryMsgsStart, queryProbesStart int64
+	q := 0
+	var step func()
+	step = func() {
+		if q >= queries {
+			kernel.Stop()
+			return
+		}
+		q++
+		tgt := targets[src.Intn(len(targets))]
+		live := w.LiveMembers()
+		liveInts := make([]int, len(live))
+		for i, id := range live {
+			liveInts[i] = int(id)
+		}
+		oracle := overlay.TrueNearest(m, tgt, liveInts)
+		w.FindNearest(p2p.NodeID(tgt), func(r vivaldi.WireResult) {
+			if r.Found {
+				found++
+				trueMs := m.LatencyMs(tgt, int(r.Peer))
+				if int(r.Peer) == oracle.Peer {
+					exact++
+				}
+				if oracle.Peer >= 0 && oracle.LatencyMs > 0 {
+					stretches = append(stretches, trueMs/oracle.LatencyMs)
+				}
+			}
+			kernel.After(100*time.Millisecond, step)
+		})
+	}
+	startQueries := func() {
+		queryMsgsStart = rt.Metrics.MsgsSent
+		queryProbesStart = rt.Metrics.QueryProbes
+		step()
+	}
+	kernel.At(vivaldiWarmup, func() {
+		if churn != nil {
+			churn.Drive(ids)
+			// Let the membership process bite before measuring queries.
+			kernel.After(30*time.Second, startQueries)
+			return
+		}
+		startQueries()
+	})
+	kernel.At(vivaldiStudyHorizon, kernel.Stop)
+	kernel.Run()
+
+	n := float64(q)
+	if q == 0 {
+		n = 1
+	}
+	cell.Queries = q
+	cell.PExact = float64(exact) / n
+	cell.Found = float64(found) / n
+	if len(stretches) > 0 {
+		cell.MedianStretch = stats.Median(stretches)
+	}
+	cell.MeanProbes = float64(rt.Metrics.QueryProbes-queryProbesStart) / n
+	cell.MeanMsgs = float64(rt.Metrics.MsgsSent-queryMsgsStart) / n
+	cell.GossipMsgsPerNode = float64(queryMsgsStart) / float64(len(members))
+	cell.Timeouts = rt.Metrics.Timeouts
+	cell.Events = kernel.Executed
+	if churn != nil {
+		cell.Leaves, cell.Joins = churn.Leaves, churn.Joins
+	}
+	live := w.LiveMembers()
+	liveInts := make([]int, len(live))
+	for i, id := range live {
+		liveInts[i] = int(id)
+	}
+	if len(liveInts) > 1 {
+		cell.MedianErr = embeddingMedianErr(rng.New(seed+4), liveInts,
+			func(id int) *vivaldi.Coord { return w.CoordOf(p2p.NodeID(id)) }, m, vivaldiEmbeddingSamples)
+	} else {
+		cell.MedianErr = math.NaN()
+	}
+	return cell
+}
+
+// runStaticVivaldiMitigation is the c2 methodology's static baseline for
+// the coordinate scheme: a matrix-fed Build over the mitigation peers, the
+// static Finder per query, scored against the close-peer threshold.
+func runStaticVivaldiMitigation(env *Env, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	net := overlay.NewNetwork(m)
+	members := make([]int, len(peers))
+	for i := range peers {
+		members[i] = i
+	}
+	sys := vivaldi.Build(net, members, vivaldi.DefaultConfig(), seed+1)
+	f := &vivaldi.Finder{Sys: sys, PlacementProbes: 16, VerifyTop: 8}
+	src := rng.New(seed + 3)
+	alive := func(netmodel.HostID) bool { return true }
+	row := MitigationRow{Name: "vivaldi static (function calls)"}
+	found, near, nearDenom := 0, 0, 0
+	var probes int64
+	var foundMs float64
+	for q := 0; q < queries; q++ {
+		idx := src.Intn(len(peers))
+		target := peers[idx]
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		res := f.FindNearest(idx)
+		probes += res.Probes
+		if res.Peer >= 0 {
+			found++
+			trueMs := env.Top.RTTms(target, peers[res.Peer])
+			foundMs += trueMs
+			if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+				near++
+			}
+		}
+	}
+	n := float64(queries)
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(probes) / n
+	return row
+}
+
+// runWireVivaldiMitigation is the wire leg of the c2 methodology for the
+// coordinate scheme: the gossip overlay over the mitigation peers, queries
+// issued by the peers themselves (members use their own live coordinate —
+// no placement probes), with the warm-up gossip bill reported in the
+// publish column (coordinates ARE the scheme's published state). Walk
+// steps land in the hops column and each search counts as one lookup, so
+// the row reads like its ucl/ipprefix neighbors.
+func runWireVivaldiMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 2 * time.Hour
+	}
+	kernel := sim.New()
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	wcfg := vivaldi.DefaultWireConfig()
+	wcfg.Horizon = opts.Horizon
+	w := vivaldi.NewWire(rt, wcfg, opts.Seed+1)
+	index := make(map[netmodel.HostID]p2p.NodeID, len(peers))
+	ids := make([]p2p.NodeID, len(peers))
+	for i := range peers {
+		index[peers[i]] = p2p.NodeID(i)
+		ids[i] = p2p.NodeID(i)
+		w.Join(p2p.NodeID(i))
+	}
+
+	var churn *p2p.Churn
+	if opts.Churn {
+		ccfg := opts.ChurnCfg
+		if ccfg.MeanSession == 0 {
+			ccfg = experimentChurnConfig()
+		}
+		ccfg.Horizon = opts.Horizon
+		churn = p2p.NewChurn(rt, ccfg, opts.Seed+2)
+		churn.OnLeave = func(id p2p.NodeID, graceful bool) { w.Leave(id, graceful) }
+		churn.OnJoin = func(id p2p.NodeID) { w.Join(id) }
+	}
+
+	row := MitigationRow{}
+	src := rng.New(opts.Seed + 3)
+	alive := func(h netmodel.HostID) bool { return rt.Alive(index[h]) }
+	found, near, nearDenom := 0, 0, 0
+	var probes, dead, hops, lookups int64
+	var foundMs float64
+	var queryMsgsStart int64
+
+	startSeq, issued := sequenceOps(kernel, opts.Queries, func(_ int, _ func() bool, complete func(apply func())) {
+		target := peers[src.Intn(len(peers))]
+		for tries := 0; tries < 20 && !alive(target); tries++ {
+			target = peers[src.Intn(len(peers))]
+		}
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		w.FindNearest(index[target], func(r vivaldi.WireResult) {
+			complete(func() {
+				probes += int64(r.Probes)
+				dead += int64(r.Dead)
+				hops += int64(r.Hops)
+				lookups++
+				if r.Found {
+					found++
+					trueMs := env.Top.RTTms(target, peers[int(r.Peer)])
+					foundMs += trueMs
+					if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+						near++
+					}
+				}
+			})
+		})
+	})
+
+	startQueries := func() {
+		queryMsgsStart = rt.Metrics.MsgsSent
+		startSeq()
+	}
+	kernel.At(vivaldiWarmup, func() {
+		// The warm-up gossip is the scheme's publish phase: coordinates
+		// are the published (and continuously republished) state.
+		row.PubMsgsPerPeer = float64(rt.Metrics.MsgsSent) / float64(len(peers))
+		if churn != nil {
+			churn.Drive(ids)
+			kernel.After(30*time.Second, startQueries)
+			return
+		}
+		startQueries()
+	})
+	kernel.At(opts.Horizon, kernel.Stop)
+	kernel.Run()
+
+	n := float64(*issued)
+	if *issued == 0 {
+		n = 1
+	}
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(probes) / n
+	row.DeadProbes = dead
+	row.MeanLookups = float64(lookups) / n
+	row.MeanHops = float64(hops) / n
+	row.MeanMsgs = float64(rt.Metrics.MsgsSent-queryMsgsStart) / n
+	row.Timeouts = rt.Metrics.Timeouts
+	if churn != nil {
+		row.Leaves, row.Joins = churn.Leaves, churn.Joins
+	}
+	return row
+}
+
+// Render prints the deterministic figure (wall-clock lives in
+// RenderTiming, as with s1).
+func (r *VivaldiStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Vivaldi study v1: wire-level coordinates (gossip over internal/p2p) vs the static oracle (seed %d)\n", r.Seed)
+	fmt.Fprintf(&b, "grid: %d searches/cell; mederr = median |pred-true|/true over live pairs; stretch = found/oracle RTT (median)\n\n", r.Queries)
+	fmt.Fprintf(&b, "%-26s %7s %7s %8s %7s %9s %8s %6s %9s %8s %9s %9s\n",
+		"condition", "N(req)", "hosts", "members", "mederr", "P(exact)", "stretch", "found", "probes/q", "msgs/q", "gossip/n", "timeouts")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-26s %7d %7d %8d %7.3f %9.3f %8.2f %6.2f %9.1f %8.1f %9.1f %9d",
+			c.Cond, c.Nominal, c.Hosts, c.Members, c.MedianErr, c.PExact, c.MedianStretch, c.Found,
+			c.MeanProbes, c.MeanMsgs, c.GossipMsgsPerNode, c.Timeouts)
+		if c.Leaves > 0 || c.Joins > 0 {
+			fmt.Fprintf(&b, "  (%d leaves, %d joins)", c.Leaves, c.Joins)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\nmitigation companion: the coordinate search through the c2 methodology, beside ucl/ipprefix\n")
+	fmt.Fprintf(&b, "%d peers on the measurement topology, %d queries, near threshold %.0f ms\n\n",
+		r.MitPeers, r.MitQueries, r.MitThresholdMs)
+	fmt.Fprintf(&b, "%-36s %6s %8s %8s %9s %10s %8s %10s %9s\n",
+		"condition", "found", "p(near)", "rtt(ms)", "probes/q", "lookups/q", "msgs/q", "pub-m/peer", "timeouts")
+	for _, row := range r.MitRows {
+		fmt.Fprintf(&b, "%-36s %6.2f %8.3f %8.1f %9.1f %10.1f %8.1f %10.1f %9d",
+			row.Name, row.Found, row.PNear, row.MeanFoundMs,
+			row.MeanProbes, row.MeanLookups, row.MeanMsgs, row.PubMsgsPerPeer, row.Timeouts)
+		if row.Leaves > 0 || row.Joins > 0 {
+			fmt.Fprintf(&b, "  (%d leaves, %d joins)", row.Leaves, row.Joins)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nreading: the matrix-fed oracle sets the floor; the wire pays a continuous gossip\n" +
+		"bill for the same embedding, loss slows convergence and turns verification pings\n" +
+		"into dead probes, and churn resets coordinates whose rebuild lags the membership —\n" +
+		"the coordinate route to a nearest peer degrades the same way the hint schemes do\n")
+	return b.String()
+}
+
+// RenderTiming prints the wall-clock view of the grid (non-deterministic;
+// cmd/figures prints it to the terminal but never writes it into the
+// figure file).
+func (r *VivaldiStudyResult) RenderTiming() string {
+	var b strings.Builder
+	b.WriteString("v1 wall-clock (non-deterministic; excluded from the figure):\n")
+	fmt.Fprintf(&b, "%-26s %7s %12s %12s\n", "condition", "N(req)", "wall", "searches/sec")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-26s %7d %12s %12.1f\n",
+			c.Cond, c.Nominal, time.Duration(c.WallMs*float64(time.Millisecond)).Round(time.Millisecond), c.QPS)
+	}
+	return b.String()
+}

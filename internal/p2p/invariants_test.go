@@ -1,0 +1,211 @@
+package p2p
+
+// Property-based invariant layer for the runtime: a randomized op sequence
+// (join/leave/crash/send/request/multicast/group churn, interleaved with
+// partial kernel drains so envelopes and expiries are genuinely in flight
+// at check time) with the runtime's structural invariants re-verified after
+// every step:
+//
+//   - envelope-slab free list: in bounds, duplicate-free, every free slot
+//     zeroed (deliverSlot releases payloads for GC before freeing);
+//   - timeout slab: free list in bounds and duplicate-free, live records
+//     unique per (node, msgID);
+//   - inflight/expiry agreement: every parked request at a live node has
+//     exactly one live expiry record (the reverse need not hold — an
+//     answered request deletes its inflight entry and lets the expiry fire
+//     into nothing; a crashed node's map is inert junk until Restart
+//     replaces it, so only live nodes are held to the invariant);
+//   - multicast sender indexes: (RTT, NodeID)-sorted and exactly equal to
+//     a from-scratch rebuild over the current membership;
+//   - dense node registry: slot i holds node i or nil.
+//
+// At full drain the slabs must be completely free and every inflight map
+// empty — nothing leaks across a quiescent point.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+)
+
+// checkRuntimeInvariants verifies every structural invariant of the
+// runtime's hot-path bookkeeping.
+func checkRuntimeInvariants(t *testing.T, rt *Runtime, stage string) {
+	t.Helper()
+
+	// Envelope slab.
+	freeEnv := make(map[uint32]bool, len(rt.slabFree))
+	for _, slot := range rt.slabFree {
+		if int(slot) >= len(rt.slab) {
+			t.Fatalf("%s: slab free slot %d out of bounds (slab len %d)", stage, slot, len(rt.slab))
+		}
+		if freeEnv[slot] {
+			t.Fatalf("%s: slab free list holds slot %d twice", stage, slot)
+		}
+		freeEnv[slot] = true
+		if rt.slab[slot] != (Envelope{}) {
+			t.Fatalf("%s: freed slab slot %d not zeroed: %+v", stage, slot, rt.slab[slot])
+		}
+	}
+
+	// Timeout slab and its live records.
+	freeT := make(map[uint32]bool, len(rt.tFree))
+	for _, slot := range rt.tFree {
+		if int(slot) >= len(rt.tSlab) {
+			t.Fatalf("%s: timeout free slot %d out of bounds (slab len %d)", stage, slot, len(rt.tSlab))
+		}
+		if freeT[slot] {
+			t.Fatalf("%s: timeout free list holds slot %d twice", stage, slot)
+		}
+		freeT[slot] = true
+	}
+	live := make(map[timeoutRec]int)
+	for slot := range rt.tSlab {
+		if !freeT[uint32(slot)] {
+			live[rt.tSlab[slot]]++
+		}
+	}
+	for rec, n := range live {
+		if n != 1 {
+			t.Fatalf("%s: %d live expiry records for %+v, want 1 (msg IDs are unique)", stage, n, rec)
+		}
+	}
+
+	// Inflight ⊆ live expiry records, and the node registry is dense.
+	for i, n := range rt.nodes {
+		if n == nil {
+			continue
+		}
+		if n.ID != NodeID(i) {
+			t.Fatalf("%s: registry slot %d holds node %d", stage, i, n.ID)
+		}
+		if !n.alive {
+			// A crashed node's inflight map is inert: the op sequence may
+			// have parked requests on it after the crash (their expiries
+			// fire into the !alive guard), and Restart replaces the map
+			// wholesale. Only live nodes carry the agreement invariant.
+			continue
+		}
+		for msgID := range n.inflight {
+			if live[timeoutRec{node: n.ID, msgID: msgID}] != 1 {
+				t.Fatalf("%s: node %d has request %d inflight with no live expiry record", stage, n.ID, msgID)
+			}
+		}
+	}
+
+	// Multicast groups: sorted duplicate-free membership, and every sender
+	// index equal to a from-scratch rebuild.
+	for gname, g := range rt.groups {
+		for i := 1; i < len(g.members); i++ {
+			if g.members[i-1] >= g.members[i] {
+				t.Fatalf("%s: group %q membership not strictly ascending at %d: %v", stage, gname, i, g.members)
+			}
+		}
+		for from, idx := range g.senders {
+			if len(idx.ids) != len(g.members) || len(idx.rtts) != len(g.members) {
+				t.Fatalf("%s: group %q sender %d index covers %d of %d members", stage, gname, from, len(idx.ids), len(g.members))
+			}
+			fresh := &senderIndex{
+				rtts: make([]float64, len(g.members)),
+				ids:  make([]NodeID, len(g.members)),
+			}
+			for i, m := range g.members {
+				fresh.rtts[i] = rt.RTTms(from, m)
+				fresh.ids[i] = m
+			}
+			// The incremental index must match the rebuild exactly —
+			// sortedness by (RTT, NodeID) follows from equality.
+			sortSenderIndex(fresh)
+			for i := range fresh.ids {
+				if idx.ids[i] != fresh.ids[i] || idx.rtts[i] != fresh.rtts[i] {
+					t.Fatalf("%s: group %q sender %d index diverges from rebuild at %d: (%v,%v) vs (%v,%v)",
+						stage, gname, from, i, idx.rtts[i], idx.ids[i], fresh.rtts[i], fresh.ids[i])
+				}
+			}
+		}
+	}
+}
+
+// sortSenderIndex sorts an index by (RTT, NodeID) ascending — the reference
+// ordering the incremental maintenance must preserve.
+func sortSenderIndex(x *senderIndex) {
+	for i := 1; i < len(x.ids); i++ {
+		r, id := x.rtts[i], x.ids[i]
+		j := i - 1
+		for j >= 0 && (x.rtts[j] > r || (x.rtts[j] == r && x.ids[j] > id)) {
+			x.rtts[j+1], x.ids[j+1] = x.rtts[j], x.ids[j]
+			j--
+		}
+		x.rtts[j+1], x.ids[j+1] = r, id
+	}
+}
+
+// TestRuntimeInvariantsUnderRandomOps drives the randomized op sequence.
+func TestRuntimeInvariantsUnderRandomOps(t *testing.T) {
+	const (
+		nNodes = 24
+		steps  = 800
+	)
+	src := rng.New(13)
+	m := latency.NewDense(nNodes)
+	for i := 0; i < nNodes; i++ {
+		for j := i + 1; j < nNodes; j++ {
+			m.Set(i, j, 1+99*src.Float64())
+		}
+	}
+	kernel := sim.New()
+	rt := New(kernel, m, Config{LossProb: 0.15, RPCTimeout: 250 * time.Millisecond}, 3)
+	for i := 0; i < nNodes; i++ {
+		n := rt.AddNode(NodeID(i))
+		n.Handle("mute", func(*Node, Envelope) {}) // never replies: requests always expire
+		n.Handle("mc", func(*Node, Envelope) {})
+	}
+	groups := []string{"g0", "g1", "g2"}
+	randNode := func() NodeID { return NodeID(src.Intn(nNodes)) }
+
+	for step := 0; step < steps; step++ {
+		switch src.Intn(9) {
+		case 0: // crash
+			rt.Node(randNode()).Stop()
+		case 1: // restart
+			rt.Node(randNode()).Restart()
+		case 2: // one-way send (possibly to or from a dead node)
+			rt.Node(randNode()).Send(randNode(), "mute", nil)
+		case 3: // request that can only resolve by timeout
+			rt.Node(randNode()).Request(randNode(), "mute", nil,
+				time.Duration(1+src.Intn(300))*time.Millisecond, func(Envelope) {}, func() {})
+		case 4: // ping (replies race their expiries)
+			rt.Node(randNode()).Ping(randNode(), time.Duration(1+src.Intn(300))*time.Millisecond,
+				src.Bool(0.5), func(float64, bool) {})
+		case 5:
+			rt.JoinGroup(groups[src.Intn(len(groups))], randNode())
+		case 6:
+			rt.LeaveGroup(groups[src.Intn(len(groups))], randNode())
+		case 7:
+			rt.Multicast(randNode(), groups[src.Intn(len(groups))], "mc", nil, 150*src.Float64())
+		case 8: // partial drain: leave envelopes and expiries in flight
+			kernel.RunUntil(kernel.Now() + time.Duration(src.Intn(120))*time.Millisecond)
+		}
+		checkRuntimeInvariants(t, rt, fmt.Sprintf("step %d", step))
+	}
+
+	// Full drain: every parked envelope delivered or dead, every expiry
+	// fired, every slab slot back on its free list, no inflight leftovers.
+	kernel.Run()
+	checkRuntimeInvariants(t, rt, "drained")
+	if len(rt.slabFree) != len(rt.slab) {
+		t.Fatalf("drained: %d of %d envelope slots still parked", len(rt.slab)-len(rt.slabFree), len(rt.slab))
+	}
+	if len(rt.tFree) != len(rt.tSlab) {
+		t.Fatalf("drained: %d of %d expiry slots still parked", len(rt.tSlab)-len(rt.tFree), len(rt.tSlab))
+	}
+	for _, n := range rt.nodes {
+		if n != nil && n.alive && len(n.inflight) != 0 {
+			t.Fatalf("drained: live node %d still has %d inflight requests", n.ID, len(n.inflight))
+		}
+	}
+}

@@ -56,9 +56,15 @@ func (n *Node) Restart() {
 	n.inflight = make(map[uint64]call)
 }
 
-// Send transmits a one-way message (no correlation, no timeout).
-func (n *Node) Send(to NodeID, typ string, payload any) {
-	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: n.rt.allocMsgID(), Payload: payload})
+// Send transmits a one-way message (no correlation, no timeout) and
+// returns the envelope's MsgID. The ID lets a protocol correlate a one-way
+// exchange itself — a responder can echo it in its own one-way answer —
+// without parking anything in the inflight map (the Vivaldi gossip protocol
+// does exactly this to keep its hot path free of per-request closures).
+func (n *Node) Send(to NodeID, typ string, payload any) uint64 {
+	id := n.rt.allocMsgID()
+	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: id, Payload: payload})
+	return id
 }
 
 // Request transmits a request and parks a waiter in the inflight map.

@@ -109,6 +109,10 @@ func (r *Runtime) expireSlot(arg uint64) {
 // RTTms returns the true link RTT between two nodes in milliseconds.
 func (r *Runtime) RTTms(a, b NodeID) float64 { return r.m.LatencyMs(int(a), int(b)) }
 
+// Population returns the matrix population: node IDs live in [0, Population).
+// Protocol packages outside p2p size their dense per-node state with it.
+func (r *Runtime) Population() int { return r.m.N() }
+
 // AddNode registers the node for a matrix index, bringing a NEW node up
 // alive. An already-registered node is returned as-is: in particular a
 // stopped node stays stopped. Resurrection is Restart's job — AddNode

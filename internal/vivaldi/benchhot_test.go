@@ -1,0 +1,13 @@
+package vivaldi_test
+
+import (
+	"testing"
+
+	"nearestpeer/internal/benchhot"
+)
+
+// Delegates to internal/benchhot so `go test -bench` and cmd/benchscale
+// (which writes CI's BENCH_scale.json) measure the exact same workload —
+// the numbers stay comparable by construction.
+
+func BenchmarkVivaldiGossipRound(b *testing.B) { benchhot.VivaldiGossipRound(b) }

@@ -19,6 +19,12 @@ import (
 	"nearestpeer/internal/rng"
 )
 
+// MaxDimensions bounds Config.Dimensions. The spring update keeps its
+// direction vector in a fixed-size stack buffer of this length so that one
+// update is allocation-free — the wire gossip protocol (wire.go) applies it
+// on every coordinate sample and must not allocate in steady state.
+const MaxDimensions = 16
+
 // Config holds the Vivaldi tuning constants from the paper.
 type Config struct {
 	// Dimensions of the Euclidean part of the coordinate.
@@ -77,9 +83,14 @@ func (c *Coord) DistanceMs(o *Coord) float64 {
 	return math.Sqrt(ss) + c.Height + o.Height
 }
 
-// update applies one Vivaldi spring update: node c observed RTT `rtt` to a
-// node at coordinate `other`.
-func (c *Coord) update(other *Coord, rtt float64, cfg Config, src *rng.Source) {
+// Update applies one Vivaldi spring update: node c observed RTT rtt (in
+// milliseconds) to a node currently at coordinate other. It is the single
+// update rule shared by the static System (Build, PlaceTarget) and the
+// wire-level gossip protocol (Wire), so the two deployments cannot drift
+// apart. The update is allocation-free: the direction scratch lives on the
+// stack (see MaxDimensions), which is what lets the gossip hot path apply
+// it per sample without allocating.
+func (c *Coord) Update(other *Coord, rtt float64, cfg Config, src *rng.Source) {
 	if rtt <= 0 {
 		rtt = 0.01
 	}
@@ -97,7 +108,8 @@ func (c *Coord) update(other *Coord, rtt float64, cfg Config, src *rng.Source) {
 	delta := cfg.CC * w * (rtt - dist)
 
 	// Unit vector from other to c; random direction when coincident.
-	dir := make([]float64, len(c.Vec))
+	var dirBuf [MaxDimensions]float64
+	dir := dirBuf[:len(c.Vec)]
 	var norm float64
 	for i := range dir {
 		dir[i] = c.Vec[i] - other.Vec[i]
@@ -138,7 +150,7 @@ type System struct {
 // samples NeighborsPerRound random peers, measures RTT (maintenance
 // probes), and applies the spring update.
 func Build(net *overlay.Network, members []int, cfg Config, seed int64) *System {
-	if cfg.Dimensions <= 0 || cfg.Rounds <= 0 {
+	if cfg.Dimensions <= 0 || cfg.Dimensions > MaxDimensions || cfg.Rounds <= 0 {
 		panic(fmt.Sprintf("vivaldi: invalid config %+v", cfg))
 	}
 	s := &System{
@@ -159,7 +171,7 @@ func Build(net *overlay.Network, members []int, cfg Config, seed int64) *System 
 					continue
 				}
 				rtt := s.net.MaintProbe(m, n)
-				s.coords[m].update(s.coords[n], rtt, s.cfg, s.src)
+				s.coords[m].Update(s.coords[n], rtt, s.cfg, s.src)
 			}
 		}
 	}
@@ -198,7 +210,7 @@ func (s *System) PlaceTarget(target, nProbes int) (*Coord, int64) {
 	// Iterate updates over the fixed observation set to convergence.
 	for iter := 0; iter < 30; iter++ {
 		for _, o := range observations {
-			c.update(o.coord, o.rtt, s.cfg, s.src)
+			c.Update(o.coord, o.rtt, s.cfg, s.src)
 		}
 	}
 	return c, probes
