@@ -269,3 +269,17 @@ func BenchmarkVivaldiStudySmoke(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObsStudySmoke is the CI smoke slice of o1: a small clustered
+// population through all twelve (scheme, condition) cells with the
+// observability layer attached. CI runs it at -benchtime=1x so a
+// regression in the obs hooks or the study itself fails the build without
+// paying for the full figure.
+func BenchmarkObsStudySmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.ObsStudyAt(120, 12, 6, benchSeed, false)
+		if i == 0 {
+			report("obs-o1-smoke", r.Render())
+		}
+	}
+}

@@ -8,14 +8,15 @@
 // shared body from internal/benchhot — the same code the per-package
 // `go test -bench` benchmarks of the same names run, so the CI numbers
 // and local bench runs stay comparable by construction: the send→deliver
-// path, a multicast round and a Vivaldi gossip round (all three with their
+// path bare and with the observability layer attached, a multicast round
+// and a Vivaldi gossip round (all with their
 // zero-allocs-per-op claims), the netmodel pricing fast path and pair
 // cache, the kernel's typed-event loop, and the 1k-host slice of the s1
 // scale study with its events/sec throughput.
 //
 // Usage:
 //
-//	benchscale [-out BENCH_scale.json] [-benchtime 1s]
+//	benchscale [-out BENCH_scale.json] [-benchtime 1s] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -64,9 +67,37 @@ func main() {
 	testing.Init() // registers test.* flags so -benchtime can be plumbed
 	out := flag.String("out", "BENCH_scale.json", "output file")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
 	flag.Parse()
 	if f := flag.Lookup("test.benchtime"); f != nil {
 		_ = f.Value.Set(benchtime.String())
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchscale:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchscale:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchscale:", err)
+				return
+			}
+			defer f.Close()
+			goruntime.GC() // settle the heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchscale:", err)
+			}
+		}()
 	}
 
 	var rows []Row
@@ -80,6 +111,7 @@ func main() {
 
 	top := netmodel.Generate(netmodel.DefaultConfig(), 1)
 	run("send_deliver", benchhot.SendDeliver)
+	run("obs_send_deliver", benchhot.ObsSendDeliver)
 	run("request_reply", benchhot.RequestReply)
 	run("multicast_round", benchhot.MulticastRound)
 	run("vivaldi_gossip_round", benchhot.VivaldiGossipRound)

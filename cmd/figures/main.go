@@ -35,7 +35,7 @@ func main() {
 	// s1's and v1's wall-clock views are printed to the terminal but never
 	// written to the figure file: elapsed time is not deterministic, and
 	// figure files must be byte-identical across -workers.
-	var s1Timing, v1Timing string
+	var s1Timing, v1Timing, o1Timing string
 	list := []experiment{
 		{"table1", func() string { return experiments.Table1(env()).Render() }},
 		{"fig3", func() string { return experiments.Fig3(env()).Render() }},
@@ -65,6 +65,11 @@ func main() {
 			v1Timing = r.RenderTiming()
 			return r.Render()
 		}},
+		{"o1", func() string {
+			r := experiments.ObsStudy(scale, *seed)
+			o1Timing = r.RenderTiming()
+			return r.Render()
+		}},
 	}
 
 	if *outDir != "" {
@@ -85,6 +90,9 @@ func main() {
 		}
 		if e.name == "v1" && v1Timing != "" {
 			fmt.Println(v1Timing)
+		}
+		if e.name == "o1" && o1Timing != "" {
+			fmt.Println(o1Timing)
 		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, e.name+".txt")

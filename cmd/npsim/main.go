@@ -5,13 +5,18 @@
 // Meridian search runs as a message protocol on internal/p2p instead of
 // as function calls, and -loss / -churn put the wire in the way. With
 // -scale N the s1 scale study runs all three scale algorithms at an
-// N-host population, fanned out over -workers engine workers.
+// N-host population, fanned out over -workers engine workers. With
+// -trace FILE a runtime run attaches the flight recorder and dumps every
+// lookup hop (message type, RTT, outcome) as JSON; -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 
 	"nearestpeer/internal/beacon"
 	"nearestpeer/internal/engine"
@@ -19,6 +24,7 @@ import (
 	"nearestpeer/internal/kargerruhl"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/overlay"
 	"nearestpeer/internal/pic"
 	"nearestpeer/internal/rng"
@@ -43,9 +49,47 @@ func main() {
 	churn := flag.Bool("churn", false, "drive membership churn during queries (requires -runtime)")
 	scaleN := flag.Int("scale", 0, "run the s1 scale study at this host population (all three algorithms) and exit")
 	workers := flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS); results are byte-identical at any width")
+	tracePath := flag.String("trace", "", "write a flight-recorder JSON dump of the run's lookup hops to this file (requires -runtime)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "npsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "npsim:", err)
+				return
+			}
+			defer f.Close()
+			goruntime.GC() // settle the heap so the profile shows retention, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "npsim:", err)
+			}
+		}()
+	}
+
 	engine.SetWorkers(*workers)
+	if *tracePath != "" && !*runtime {
+		fmt.Fprintln(os.Stderr, "-trace requires -runtime (the flight recorder hooks the message runtime's lookup paths)")
+		os.Exit(2)
+	}
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder(traceCapacity)
+	}
 	if *scaleN > 0 {
 		algoSet := false
 		flag.Visit(func(f *flag.Flag) { algoSet = algoSet || f.Name == "algo" })
@@ -73,7 +117,8 @@ func main() {
 			// The hint schemes and the coordinate gossip run on the
 			// measurement topology: dispatch before the (large, unused
 			// here) clustered matrix is built.
-			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed)
+			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed, rec)
+			writeTrace(rec, *tracePath)
 			return
 		default:
 			fmt.Fprintf(os.Stderr, "-runtime supports -algo meridian|ucl|ipprefix|chord|vivaldi (got %q)\n", *algo)
@@ -89,7 +134,8 @@ func main() {
 
 	if *runtime {
 		if *algo == "chord" {
-			runWireChord(m, *peers, *queries, *loss, *churn, *seed)
+			runWireChord(m, *peers, *queries, *loss, *churn, *seed, rec)
+			writeTrace(rec, *tracePath)
 			return
 		}
 		members, targets := overlay.Split(m.N(), 100, *seed+1)
@@ -98,6 +144,7 @@ func main() {
 		row := experiments.RunMessageMeridian(m, gt, members, targets, experiments.RuntimeOpts{
 			Loss: *loss, Beta: *beta, RingSize: *ringSize,
 			Churn: *churn, Queries: *queries, Seed: *seed,
+			Recorder: rec,
 		})
 		fmt.Printf("\nP(exact closest peer)   = %.3f\n", row.PExact)
 		fmt.Printf("P(correct cluster)      = %.3f\n", row.PCluster)
@@ -110,6 +157,7 @@ func main() {
 		if *churn {
 			fmt.Printf("churn                   = %d leaves, %d joins\n", row.Leaves, row.Joins)
 		}
+		writeTrace(rec, *tracePath)
 		return
 	}
 	if *loss > 0 || *churn {
@@ -201,7 +249,34 @@ func runScaleStudy(hosts, queries int, seed int64) {
 // need routers and IP prefixes, which the synthetic clustered matrix does
 // not have; for vivaldi the publish column reports the gossip warm-up
 // bill, lookups are walks and hops are walk steps).
-func runWireMitigation(scheme string, peers, queries int, loss float64, churn bool, seed int64) {
+// traceCapacity bounds the -trace flight-recorder ring; when a run records
+// more hops than this, the oldest are overwritten and reported as dropped.
+const traceCapacity = 1 << 16
+
+// writeTrace dumps the flight recorder as JSON. No-op without -trace.
+func writeTrace(rec *obs.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nflight recorder         = %d hop records kept (%d recorded, %d dropped) -> %s\n",
+		rec.Len(), rec.Recorded(), rec.Dropped(), path)
+}
+
+func runWireMitigation(scheme string, peers, queries int, loss float64, churn bool, seed int64, rec *obs.Recorder) {
 	const maxPeers, maxQueries = 600, 300
 	if peers > maxPeers {
 		peers = maxPeers
@@ -215,6 +290,7 @@ func runWireMitigation(scheme string, peers, queries int, loss float64, churn bo
 		scheme, len(peerSet), maxPeers, maxQueries, queries, loss*100, churn)
 	row := experiments.RunWireMitigation(env, peerSet, experiments.MitigationOpts{
 		Scheme: scheme, Loss: loss, Churn: churn, Queries: queries, Seed: seed,
+		Recorder: rec,
 	})
 	fmt.Printf("\nfound any peer          = %.2f\n", row.Found)
 	fmt.Printf("P(peer within 10 ms)    = %.3f (over %d queries with a live near peer)\n", row.PNear, row.NearDenom)
@@ -231,7 +307,7 @@ func runWireMitigation(scheme string, peers, queries int, loss float64, churn bo
 
 // runWireChord exercises the message-level Chord substrate by itself on
 // the clustered matrix: sequential Put+Get pairs from random live nodes.
-func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool, seed int64) {
+func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool, seed int64, rec *obs.Recorder) {
 	const maxOps = 500
 	if queries > maxOps {
 		queries = maxOps
@@ -240,6 +316,7 @@ func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool
 		queries, maxOps, loss*100, churn)
 	row := experiments.RunWireChord(m, experiments.WireChordOpts{
 		Nodes: peers, Ops: queries, Loss: loss, Churn: churn, Seed: seed,
+		Recorder: rec,
 	})
 	fmt.Printf("\nring size               = %d nodes\n", row.Nodes)
 	fmt.Printf("put acknowledged        = %.3f\n", row.PutOK)

@@ -25,6 +25,7 @@ var docCoveredPackages = []string{
 	"internal/engine",
 	"internal/experiments",
 	"internal/latency",
+	"internal/obs",
 	"internal/p2p",
 	"internal/sim",
 	"internal/overlay",

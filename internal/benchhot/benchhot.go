@@ -16,6 +16,7 @@ import (
 
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/sim"
 	"nearestpeer/internal/vivaldi"
@@ -47,6 +48,38 @@ func SendDeliver(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Send(1, "noop", nil)
+		kernel.Run()
+	}
+}
+
+// ObsSendDeliver is SendDeliver with the full observability layer in the
+// way: metrics registry and flight recorder attached to the runtime, plus
+// one recorder write and one histogram observe per op — the instrumented
+// cost of the same wire hot path. The delta against the send_deliver row
+// is the price of observability; steady state must stay 0 allocs/op (the
+// claim TestObsZeroAlloc enforces, tracked here as a perf trajectory).
+func ObsSendDeliver(b *testing.B) {
+	kernel := sim.New()
+	rt := p2p.New(kernel, LineMatrix(4), p2p.Config{RPCTimeout: time.Second}, 1)
+	reg := obs.NewRegistry(4)
+	rt.EnableObs(reg)
+	rec := obs.NewRecorder(64)
+	rt.AttachRecorder(rec)
+	a := rt.AddNode(0)
+	rt.AddNode(1).Handle("noop", func(*p2p.Node, p2p.Envelope) {})
+	// Warm past one full recorder wrap so ring reuse, not growth, is
+	// what gets measured.
+	for i := 0; i < 128; i++ {
+		a.Send(1, "noop", nil)
+		rec.Record(obs.Hop{Scheme: "bench", Type: "noop", To: 1, RTTms: 1})
+	}
+	kernel.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(1, "noop", nil)
+		rec.Record(obs.Hop{Scheme: "bench", Type: "noop", To: 1, RTTms: 1})
+		reg.ObserveLookupMs(10)
 		kernel.Run()
 	}
 }

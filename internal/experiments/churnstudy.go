@@ -8,6 +8,7 @@ import (
 	"nearestpeer/internal/engine"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/overlay"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
@@ -39,6 +40,10 @@ type RuntimeOpts struct {
 	Seed int64
 	// Horizon caps virtual time as a watchdog (default 2 h).
 	Horizon time.Duration
+	// Recorder, when non-nil, is attached to the runtime as the lookup
+	// flight recorder (npsim -trace). It is passive: results are
+	// byte-identical with or without it.
+	Recorder *obs.Recorder
 }
 
 // ChurnRow is one condition's scores, static or message-level.
@@ -88,6 +93,9 @@ func RunMessageMeridian(m latency.Matrix, gt *latency.GroundTruth, members, targ
 	}
 	kernel := sim.New()
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Recorder != nil {
+		rt.AttachRecorder(opts.Recorder)
+	}
 	merCfg := p2p.DefaultMeridianConfig()
 	if opts.Beta > 0 {
 		merCfg.Beta = opts.Beta

@@ -74,6 +74,20 @@ func TestGoldenQuickFigures(t *testing.T) {
 	t.Run("s1", func(t *testing.T) {
 		checkGolden(t, "golden_s1_quick.txt", ScaleStudy(Quick, 1).Render())
 	})
+	// o1 runs at two worker counts like c1/v1: the observability layer
+	// must not perturb the schedule, so the figure it reads off the runs
+	// is held to the same byte-identical bar.
+	t.Run("o1", func(t *testing.T) {
+		prev := engine.SetWorkers(1)
+		defer engine.SetWorkers(prev)
+		serial := ObsStudy(Quick, 1).Render()
+		engine.SetWorkers(8)
+		parallel := ObsStudy(Quick, 1).Render()
+		if serial != parallel {
+			t.Fatalf("o1 differs between -workers=1 and -workers=8:\n--- w=1 ---\n%s\n--- w=8 ---\n%s", serial, parallel)
+		}
+		checkGolden(t, "golden_o1_quick.txt", serial)
+	})
 	// v1 runs at two worker counts like c1: the acceptance bar for the
 	// Vivaldi study is byte-identical output across -workers, witnessed by
 	// the same golden.

@@ -10,6 +10,7 @@ import (
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/measure"
 	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
@@ -119,6 +120,10 @@ type MitigationOpts struct {
 	// every row its own so rows never contend for one noise stream and can
 	// run as parallel engine trials.
 	Tools *measure.Tools
+	// Recorder, when non-nil, is attached to the runtime as the lookup
+	// flight recorder (npsim -trace). It is passive: results are
+	// byte-identical with or without it.
+	Recorder *obs.Recorder
 }
 
 // MitigationRow is one condition's scores, static or message-level.
@@ -304,6 +309,9 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 	// hits it almost always.
 	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Recorder != nil {
+		rt.AttachRecorder(opts.Recorder)
+	}
 	ccfg := p2p.DefaultChordConfig()
 	ccfg.Horizon = opts.Horizon
 	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)

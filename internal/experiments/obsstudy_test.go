@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestObsStudyTraceInvariance is the figure's core passivity claim as a
+// determinism test: attaching a flight recorder to every cell must not
+// change a single byte of the rendered figure — the recorder writes into
+// a preallocated ring on paths the schemes already execute, draws no
+// randomness and schedules no events. The traced run must also actually
+// capture hops, or the invariance would be vacuous.
+func TestObsStudyTraceInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire study too heavy for -short")
+	}
+	const peers, targets, lookups = 120, 12, 6
+	plain := ObsStudyAt(peers, targets, lookups, 1, false)
+	traced := ObsStudyAt(peers, targets, lookups, 1, true)
+	if got, want := traced.Render(), plain.Render(); got != want {
+		t.Fatalf("figure differs with tracing enabled:\n--- traced ---\n%s\n--- plain ---\n%s", got, want)
+	}
+	for _, c := range plain.Cells {
+		if c.Trace != nil {
+			t.Fatalf("untraced cell %s/%s carries a recorder", c.Scheme, c.Cond)
+		}
+	}
+	var hops uint64
+	schemes := map[string]bool{}
+	for _, c := range traced.Cells {
+		if c.Trace == nil {
+			t.Fatalf("traced cell %s/%s has no recorder", c.Scheme, c.Cond)
+		}
+		hops += c.Trace.Recorded()
+		for _, h := range c.Trace.Snapshot() {
+			schemes[h.Scheme] = true
+		}
+	}
+	if hops == 0 {
+		t.Fatal("traced run recorded no hops")
+	}
+	for _, s := range obsStudySchemes {
+		if !schemes[s] {
+			t.Errorf("no %s hops in any trace", s)
+		}
+	}
+}
+
+// TestObsStudyFigureContents sanity-checks the rendered figure without
+// pinning bytes (the golden does that): every scheme and condition row is
+// present and the quantiles are ordered.
+func TestObsStudyFigureContents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire study too heavy for -short")
+	}
+	r := ObsStudyAt(120, 12, 6, 1, false)
+	if len(r.Cells) != len(obsStudySchemes)*len(obsStudyConditions()) {
+		t.Fatalf("got %d cells", len(r.Cells))
+	}
+	for _, c := range r.Cells {
+		if c.Lookups == 0 {
+			t.Errorf("%s/%s issued no lookups", c.Scheme, c.Cond)
+		}
+		if c.P50 > c.P99 || c.P99 > c.P999 {
+			t.Errorf("%s/%s quantiles out of order: %.1f %.1f %.1f", c.Scheme, c.Cond, c.P50, c.P99, c.P999)
+		}
+		if c.LoadMax < c.LoadP99 || c.LoadP99 < c.LoadP50 {
+			t.Errorf("%s/%s load distribution out of order", c.Scheme, c.Cond)
+		}
+		if c.MsgMix == "" {
+			t.Errorf("%s/%s has no message mix", c.Scheme, c.Cond)
+		}
+	}
+	text := r.Render()
+	for _, s := range obsStudySchemes {
+		if !strings.Contains(text, s) {
+			t.Errorf("figure lacks scheme %s", s)
+		}
+	}
+	if strings.Contains(text, "wall") {
+		t.Error("figure leaks wall-clock text (must live in RenderTiming)")
+	}
+}

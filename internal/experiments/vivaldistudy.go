@@ -430,6 +430,9 @@ func runWireVivaldiMitigation(env *Env, peers []netmodel.HostID, opts Mitigation
 	kernel := sim.New()
 	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Recorder != nil {
+		rt.AttachRecorder(opts.Recorder)
+	}
 	wcfg := vivaldi.DefaultWireConfig()
 	wcfg.Horizon = opts.Horizon
 	w := vivaldi.NewWire(rt, wcfg, opts.Seed+1)

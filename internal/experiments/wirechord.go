@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/latency"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
@@ -43,6 +44,10 @@ type WireChordOpts struct {
 	// (default 20 s). Rings with a stretched stabilize period need a few
 	// periods here.
 	Settle time.Duration
+	// Recorder, when non-nil, is attached to the runtime as the lookup
+	// flight recorder (npsim -trace). It is passive: results are
+	// byte-identical with or without it.
+	Recorder *obs.Recorder
 }
 
 // WireChordRow reports the run.
@@ -79,6 +84,9 @@ func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 	}
 	kernel := sim.New()
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Recorder != nil {
+		rt.AttachRecorder(opts.Recorder)
+	}
 	ccfg := opts.Chord
 	if ccfg.StabilizeEvery <= 0 {
 		ccfg = p2p.DefaultChordConfig()

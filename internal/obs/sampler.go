@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"time"
+
+	"nearestpeer/internal/sim"
+)
+
+// Sample is one periodic runtime-health reading.
+type Sample struct {
+	// At is the virtual time of the reading.
+	At time.Duration
+	// Inflight is the number of envelopes in flight (runtime slab depth).
+	Inflight int
+	// Queue is the kernel event-queue depth at the reading.
+	Queue int
+	// Live is the live node population.
+	Live int
+}
+
+// Probe supplies one reading's values; the runtime that owns the sampler
+// provides it (see p2p.Runtime.StartHealthSampler).
+type Probe func() (inflight, queue, live int)
+
+// Sampler periodically records runtime health into a fixed ring, driven by
+// a typed kernel event that reschedules itself — one preallocated handler,
+// no closure per tick, nothing allocated in steady state.
+//
+// A sampler keeps the kernel's queue non-empty until its horizon, so code
+// that drives the kernel with a drain-the-queue Run() must either set a
+// horizon or stop the kernel explicitly.
+type Sampler struct {
+	kernel  *sim.Sim
+	every   time.Duration
+	horizon time.Duration
+	probe   Probe
+	h       sim.HandlerID
+	ring    []Sample
+	next    int
+	total   uint64
+}
+
+// NewSampler builds a sampler ticking every `every` of virtual time until
+// horizon (0 = no horizon: tick until the kernel stops), holding the last
+// `capacity` samples. Call Start to schedule the first tick.
+func NewSampler(kernel *sim.Sim, every, horizon time.Duration, capacity int, probe Probe) *Sampler {
+	if every <= 0 {
+		panic("obs: NewSampler requires every > 0")
+	}
+	if capacity <= 0 {
+		panic("obs: NewSampler requires capacity > 0")
+	}
+	if probe == nil {
+		panic("obs: NewSampler requires a probe")
+	}
+	s := &Sampler{
+		kernel:  kernel,
+		every:   every,
+		horizon: horizon,
+		probe:   probe,
+		ring:    make([]Sample, capacity),
+	}
+	s.h = kernel.RegisterHandler(s.tick)
+	return s
+}
+
+// Start schedules the first tick one period from now.
+func (s *Sampler) Start() {
+	s.kernel.AfterHandler(s.every, s.h, 0)
+}
+
+// tick is the registered kernel handler: read the probe, write the ring
+// slot, reschedule unless the next tick would pass the horizon.
+func (s *Sampler) tick(uint64) {
+	inflight, queue, live := s.probe()
+	s.ring[s.next] = Sample{At: s.kernel.Now(), Inflight: inflight, Queue: queue, Live: live}
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+	}
+	s.total++
+	if s.horizon > 0 && s.kernel.Now()+s.every > s.horizon {
+		return
+	}
+	s.kernel.AfterHandler(s.every, s.h, 0)
+}
+
+// Count returns the total number of samples taken.
+func (s *Sampler) Count() uint64 { return s.total }
+
+// Samples copies the held samples out in chronological order (at most the
+// ring capacity; older samples are overwritten).
+func (s *Sampler) Samples() []Sample {
+	n := int(s.total)
+	if s.total >= uint64(len(s.ring)) {
+		n = len(s.ring)
+	}
+	out := make([]Sample, 0, n)
+	start := 0
+	if s.total >= uint64(len(s.ring)) {
+		start = s.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}

@@ -11,5 +11,6 @@ import (
 // same workloads — the numbers stay comparable by construction.
 
 func BenchmarkSendDeliver(b *testing.B)    { benchhot.SendDeliver(b) }
+func BenchmarkObsSendDeliver(b *testing.B) { benchhot.ObsSendDeliver(b) }
 func BenchmarkRequestReply(b *testing.B)   { benchhot.RequestReply(b) }
 func BenchmarkMulticastRound(b *testing.B) { benchhot.MulticastRound(b) }

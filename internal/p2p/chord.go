@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/dht"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/rng"
 )
 
@@ -985,6 +986,15 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 	if maxTimeouts <= 0 {
 		maxTimeouts = c.cfg.MaxHops
 	}
+	// Flight recorder: one trace record per hop request, tagged with a
+	// recorder-unique lookup ID. afterTimeout distinguishes a first-choice
+	// hop (HopOK) from one re-routed after a timeout (HopRetry).
+	rec := c.rt.obsRec
+	var lseq uint64
+	if rec != nil {
+		lseq = rec.Begin()
+	}
+	afterTimeout := false
 	var next func()
 	next = func() {
 		if len(frontier) == 0 || res.Hops >= c.cfg.MaxHops || res.Retries >= maxTimeouts {
@@ -1000,10 +1010,22 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 		cur := frontier[best]
 		frontier = append(frontier[:best], frontier[best+1:]...)
 		res.Hops++
+		hopStart := c.rt.Kernel.Now()
+		wasRetry := afterTimeout
+		afterTimeout = false
 		n.Request(cur, MsgChordFind, cFindMsg{Key: key}, c.cfg.RPCTimeout,
 			func(env Envelope) {
 				if !n.Alive() {
 					return
+				}
+				if rec != nil {
+					out := obs.HopOK
+					if wasRetry {
+						out = obs.HopRetry
+					}
+					rec.Record(obs.Hop{Lookup: lseq, Scheme: "chord", Type: MsgChordFind,
+						From: int(n.ID), To: int(cur), At: hopStart,
+						RTTms: msOf(c.rt.Kernel.Now() - hopStart), Outcome: out})
 				}
 				ok := env.Payload.(cFindOKMsg)
 				if ms := memberState(); ms != nil {
@@ -1025,7 +1047,12 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 				if !n.Alive() {
 					return
 				}
+				if rec != nil {
+					rec.Record(obs.Hop{Lookup: lseq, Scheme: "chord", Type: MsgChordFind,
+						From: int(n.ID), To: int(cur), At: hopStart, Outcome: obs.HopTimeout})
+				}
 				res.Retries++
+				afterTimeout = true
 				if ms := memberState(); ms != nil {
 					c.suspectPeer(ms, cur)
 				}

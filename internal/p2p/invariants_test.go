@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/latency"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
 )
@@ -95,6 +96,36 @@ func checkRuntimeInvariants(t *testing.T, rt *Runtime, stage string) {
 				t.Fatalf("%s: node %d has request %d inflight with no live expiry record", stage, n.ID, msgID)
 			}
 		}
+	}
+
+	// Message accounting identity: every envelope ever handed to the
+	// transport is delivered, lost, dead, or still parked in the slab —
+	// and the expiry ledger balances the same way.
+	inflightEnv := int64(rt.InflightEnvelopes())
+	if rt.Metrics.MsgsSent != rt.Metrics.MsgsDelivered+rt.Metrics.MsgsLost+rt.Metrics.MsgsDead+inflightEnv {
+		t.Fatalf("%s: accounting identity broken: sent=%d != delivered=%d + lost=%d + dead=%d + inflight=%d",
+			stage, rt.Metrics.MsgsSent, rt.Metrics.MsgsDelivered, rt.Metrics.MsgsLost, rt.Metrics.MsgsDead, inflightEnv)
+	}
+	if pend := int64(rt.PendingExpiries()); rt.Metrics.ExpiriesScheduled != rt.Metrics.ExpiriesFired+pend {
+		t.Fatalf("%s: expiry ledger broken: scheduled=%d != fired=%d + pending=%d",
+			stage, rt.Metrics.ExpiriesScheduled, rt.Metrics.ExpiriesFired, pend)
+	}
+	if rt.Metrics.Timeouts > rt.Metrics.ExpiriesFired {
+		t.Fatalf("%s: %d timeouts exceed %d fired expiries", stage, rt.Metrics.Timeouts, rt.Metrics.ExpiriesFired)
+	}
+	if rt.Metrics.MsgsMulticast > rt.Metrics.MsgsSent {
+		t.Fatalf("%s: %d multicast sends exceed %d total sends", stage, rt.Metrics.MsgsMulticast, rt.Metrics.MsgsSent)
+	}
+
+	// The live counter agrees with a registry scan.
+	liveScan := 0
+	for _, n := range rt.nodes {
+		if n != nil && n.alive {
+			liveScan++
+		}
+	}
+	if rt.LiveNodes() != liveScan {
+		t.Fatalf("%s: LiveNodes()=%d but %d nodes are alive", stage, rt.LiveNodes(), liveScan)
 	}
 
 	// Multicast groups: sorted duplicate-free membership, and every sender
@@ -207,5 +238,114 @@ func TestRuntimeInvariantsUnderRandomOps(t *testing.T) {
 		if n != nil && n.alive && len(n.inflight) != 0 {
 			t.Fatalf("drained: live node %d still has %d inflight requests", n.ID, len(n.inflight))
 		}
+	}
+}
+
+// TestMetricsAccountingUnderLossAndChurn runs a scripted loss+churn
+// sequence with the observability registry attached and reconciles every
+// counter at the end: the wire counters against the accounting identity,
+// the registry's per-node and per-type counters against the runtime's
+// global ones, and the expiry ledger against the timeout count.
+func TestMetricsAccountingUnderLossAndChurn(t *testing.T) {
+	const nNodes = 16
+	src := rng.New(71)
+	m := latency.NewDense(nNodes)
+	for i := 0; i < nNodes; i++ {
+		for j := i + 1; j < nNodes; j++ {
+			m.Set(i, j, 5+45*src.Float64())
+		}
+	}
+	kernel := sim.New()
+	rt := New(kernel, m, Config{LossProb: 0.25, RPCTimeout: 200 * time.Millisecond}, 9)
+	reg := obs.NewRegistry(nNodes)
+	rt.EnableObs(reg)
+	for i := 0; i < nNodes; i++ {
+		rt.AddNode(NodeID(i))
+		rt.JoinGroup("g", NodeID(i))
+	}
+	checkRuntimeInvariants(t, rt, "setup")
+
+	randNode := func() NodeID { return NodeID(src.Intn(nNodes)) }
+	mcReturned := 0
+	pings, pongs, expires := 0, 0, 0
+	for round := 0; round < 60; round++ {
+		// Churn phase: crash a node mid-round so requests in flight to it
+		// die, restart another so stale expiries fire into the alive guard.
+		rt.Node(randNode()).Stop()
+		rt.Node(randNode()).Restart()
+		for i := 0; i < 6; i++ {
+			pings++
+			rt.Node(randNode()).Ping(randNode(), 150*time.Millisecond, false, func(_ float64, ok bool) {
+				if ok {
+					pongs++
+				} else {
+					expires++
+				}
+			})
+		}
+		mcReturned += rt.Multicast(randNode(), "g", MsgPing, nil, 30)
+		kernel.RunUntil(kernel.Now() + time.Duration(40+src.Intn(200))*time.Millisecond)
+		checkRuntimeInvariants(t, rt, fmt.Sprintf("round %d", round))
+	}
+	kernel.Run()
+	checkRuntimeInvariants(t, rt, "drained")
+
+	mt := rt.Metrics
+	if mt.MsgsLost == 0 {
+		t.Fatal("25% loss produced no lost messages")
+	}
+	if mt.Timeouts == 0 {
+		t.Fatal("loss+churn produced no timeouts")
+	}
+	if mt.MsgsDead == 0 {
+		t.Fatal("crashing receivers produced no dead deliveries")
+	}
+	// Drained: the identity collapses to sent == delivered+lost+dead and
+	// the expiry ledger to scheduled == fired.
+	if mt.MsgsSent != mt.MsgsDelivered+mt.MsgsLost+mt.MsgsDead {
+		t.Fatalf("drained identity: sent=%d delivered=%d lost=%d dead=%d", mt.MsgsSent, mt.MsgsDelivered, mt.MsgsLost, mt.MsgsDead)
+	}
+	if mt.ExpiriesScheduled != mt.ExpiriesFired {
+		t.Fatalf("drained expiry ledger: scheduled=%d fired=%d", mt.ExpiriesScheduled, mt.ExpiriesFired)
+	}
+	if int64(mcReturned) != mt.MsgsMulticast {
+		t.Fatalf("Multicast returned %d sends total, counter says %d", mcReturned, mt.MsgsMulticast)
+	}
+	// Every ping issued either answered or expired (the issuer stayed
+	// decided even when the responder died: Ping's callback runs exactly
+	// once unless the issuer itself crashes — crashed issuers' callbacks
+	// are the remainder).
+	if pongs+expires > pings {
+		t.Fatalf("pings=%d resolved=%d", pings, pongs+expires)
+	}
+	if mt.Timeouts < int64(expires) {
+		t.Fatalf("runtime counted %d timeouts, callbacks saw %d", mt.Timeouts, expires)
+	}
+
+	// Registry reconciliation: the per-node counters partition the global
+	// ones exactly — the registry saw every send and every delivery.
+	var regSent, regRecv int64
+	for _, c := range reg.SentByNode() {
+		regSent += c
+	}
+	for _, c := range reg.RecvByNode() {
+		regRecv += c
+	}
+	if regSent != mt.MsgsSent {
+		t.Fatalf("registry saw %d sends, runtime %d", regSent, mt.MsgsSent)
+	}
+	if regRecv != mt.MsgsDelivered {
+		t.Fatalf("registry saw %d deliveries, runtime %d", regRecv, mt.MsgsDelivered)
+	}
+	var regTyped int64
+	for _, tt := range reg.TopTypes(0) {
+		regTyped += tt.Count
+	}
+	if regTyped != mt.MsgsSent {
+		t.Fatalf("per-type counters sum to %d, runtime sent %d", regTyped, mt.MsgsSent)
+	}
+	// This workload is all pings and pongs.
+	if got := reg.TypeCount(MsgPing) + reg.TypeCount(MsgPong); got != mt.MsgsSent {
+		t.Fatalf("ping+pong counts %d != sent %d", got, mt.MsgsSent)
 	}
 }

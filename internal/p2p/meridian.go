@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/rng"
 )
 
@@ -447,7 +448,16 @@ func (m *Meridian) handleQuery(n *Node, env Envelope) {
 		m.probePhase(n, st, q)
 		return
 	}
+	pingAt := m.rt.Kernel.Now()
 	n.Ping(q.Target, m.cfg.RPCTimeout, false, func(rtt float64, ok bool) {
+		if rec := m.rt.obsRec; rec != nil {
+			out := obs.HopOK
+			if !ok {
+				out = obs.HopTimeout
+			}
+			rec.Record(obs.Hop{Lookup: q.QID, Scheme: "meridian", Type: MsgPing,
+				From: int(n.ID), To: int(q.Target), At: pingAt, RTTms: rtt, Outcome: out})
+		}
 		if !n.Alive() || m.states[n.ID] == nil {
 			return
 		}
@@ -531,6 +541,13 @@ func (m *Meridian) probePhase(n *Node, st *meridianState, q queryMsg) {
 // distance by β, falling back through the sorted reports when a handoff
 // times out; with no acceptable hop left the walk ends here.
 func (m *Meridian) advance(n *Node, q queryMsg, reports []probeReport) {
+	m.advanceFrom(n, q, reports, false)
+}
+
+// advanceFrom is advance with the fallback state threaded through:
+// alternate marks a handoff attempted only because the preferred next hop
+// timed out, which the flight recorder tags HopAlternate on success.
+func (m *Meridian) advanceFrom(n *Node, q queryMsg, reports []probeReport, alternate bool) {
 	if q.Hops >= m.cfg.MaxHops || len(reports) == 0 || reports[0].rtt > m.cfg.Beta*q.D {
 		m.finish(n, q)
 		return
@@ -540,16 +557,31 @@ func (m *Meridian) advance(n *Node, q queryMsg, reports []probeReport) {
 	fwd := q
 	fwd.D = next.rtt
 	fwd.Hops++
+	hopStart := m.rt.Kernel.Now()
 	n.Request(next.id, MsgQuery, fwd, m.cfg.RPCTimeout,
-		func(Envelope) {},
+		func(Envelope) {
+			if rec := m.rt.obsRec; rec != nil {
+				out := obs.HopOK
+				if alternate {
+					out = obs.HopAlternate
+				}
+				rec.Record(obs.Hop{Lookup: q.QID, Scheme: "meridian", Type: MsgQuery,
+					From: int(n.ID), To: int(next.id), At: hopStart,
+					RTTms: msOf(m.rt.Kernel.Now() - hopStart), Outcome: out})
+			}
+		},
 		func() {
+			if rec := m.rt.obsRec; rec != nil {
+				rec.Record(obs.Hop{Lookup: q.QID, Scheme: "meridian", Type: MsgQuery,
+					From: int(n.ID), To: int(next.id), At: hopStart, Outcome: obs.HopTimeout})
+			}
 			if st := m.states[n.ID]; st != nil {
 				st.evict(next.id)
 			}
 			if !n.Alive() {
 				return
 			}
-			m.advance(n, q, rest)
+			m.advanceFrom(n, q, rest, true)
 		})
 }
 

@@ -45,6 +45,9 @@ func (n *Node) Handle(typ string, h Handler) { n.handlers[typ] = h }
 // Stop crashes the node: it stops receiving, and every outstanding request
 // it made is forgotten — their timeout events will find nothing to fire.
 func (n *Node) Stop() {
+	if n.alive {
+		n.rt.liveCount--
+	}
 	n.alive = false
 	n.inflight = make(map[uint64]call)
 }
@@ -52,6 +55,9 @@ func (n *Node) Stop() {
 // Restart brings a stopped node back up with its handlers intact and no
 // inflight state, as a process restart would.
 func (n *Node) Restart() {
+	if !n.alive {
+		n.rt.liveCount++
+	}
 	n.alive = true
 	n.inflight = make(map[uint64]call)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/latency"
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
 )
@@ -49,6 +50,16 @@ type Runtime struct {
 
 	// mcScratch is Multicast's reusable recipient buffer.
 	mcScratch []NodeID
+
+	// obsReg/obsRec are the optional observability hooks. Both are nil by
+	// default: a runtime without observability pays one nil compare per
+	// message, and with them attached every hook is a preallocated counter
+	// or ring write — the send path stays allocation-free either way.
+	obsReg *obs.Registry
+	obsRec *obs.Recorder
+
+	// liveCount tracks the live node population for the health sampler.
+	liveCount int
 }
 
 // timeoutRec is one pending request expiry parked in the timeout slab.
@@ -83,6 +94,7 @@ func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
 // (node, msgID) pair parks in the timeout slab and the slot index rides
 // the event — no closure per request.
 func (r *Runtime) timeoutAt(d time.Duration, node NodeID, msgID uint64) {
+	r.Metrics.ExpiriesScheduled++
 	var slot uint32
 	if n := len(r.tFree); n > 0 {
 		slot = r.tFree[n-1]
@@ -99,6 +111,7 @@ func (r *Runtime) timeoutAt(d time.Duration, node NodeID, msgID uint64) {
 // decides whether the request is still outstanding (a response that
 // arrived first deleted the inflight entry and wins the race).
 func (r *Runtime) expireSlot(arg uint64) {
+	r.Metrics.ExpiriesFired++
 	rec := r.tSlab[arg]
 	r.tFree = append(r.tFree, uint32(arg))
 	if n := r.node(rec.node); n != nil {
@@ -137,6 +150,7 @@ func (r *Runtime) AddNode(id NodeID) *Node {
 		n.Reply(env, MsgPong, nil)
 	})
 	r.nodes[id] = n
+	r.liveCount++
 	return n
 }
 
@@ -360,7 +374,50 @@ func (r *Runtime) Multicast(from NodeID, gname, typ string, payload any, radiusM
 		r.send(Envelope{Type: typ, From: from, To: m, MsgID: r.allocMsgID(), Payload: payload})
 		sent++
 	}
+	r.Metrics.MsgsMulticast += int64(sent)
 	return sent
+}
+
+// EnableObs attaches a metrics registry. Every send and delivery from now
+// on is noted in it; pass nil to detach. Attaching a registry never
+// perturbs the simulation — it draws no randomness and schedules no events.
+func (r *Runtime) EnableObs(reg *obs.Registry) { r.obsReg = reg }
+
+// Obs returns the attached metrics registry, or nil.
+func (r *Runtime) Obs() *obs.Registry { return r.obsReg }
+
+// AttachRecorder attaches a lookup flight recorder. The scheme wires
+// (chord, Meridian, the Vivaldi wire) record per-hop traces into it; pass
+// nil to detach. Like the registry, a recorder is purely passive.
+func (r *Runtime) AttachRecorder(rec *obs.Recorder) { r.obsRec = rec }
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (r *Runtime) FlightRecorder() *obs.Recorder { return r.obsRec }
+
+// LiveNodes returns the number of registered nodes currently up.
+func (r *Runtime) LiveNodes() int { return r.liveCount }
+
+// InflightEnvelopes returns the number of envelopes currently in flight
+// (occupied send-slab slots) — the inflight term of the accounting identity
+// MsgsSent == MsgsDelivered + MsgsLost + MsgsDead + inflight.
+func (r *Runtime) InflightEnvelopes() int { return len(r.slab) - len(r.slabFree) }
+
+// PendingExpiries returns the number of request-expiry events still parked
+// in the timeout slab (ExpiriesScheduled - ExpiriesFired).
+func (r *Runtime) PendingExpiries() int { return len(r.tSlab) - len(r.tFree) }
+
+// StartHealthSampler starts a periodic obs.Sampler over this runtime's
+// health: inflight envelope depth, kernel event-queue depth, and live
+// population, every `every` of virtual time until horizon. The returned
+// sampler is already started. Note the sampler's self-rescheduling tick
+// keeps the kernel queue non-empty until horizon, so drain-style Run()
+// loops only terminate once the horizon passes (or the kernel is stopped).
+func (r *Runtime) StartHealthSampler(every, horizon time.Duration, capacity int) *obs.Sampler {
+	s := obs.NewSampler(r.Kernel, every, horizon, capacity, func() (int, int, int) {
+		return r.InflightEnvelopes(), r.Kernel.Pending(), r.liveCount
+	})
+	s.Start()
+	return s
 }
 
 // allocMsgID hands out runtime-unique correlation IDs.
@@ -395,6 +452,9 @@ func (r *Runtime) deliverSlot(arg uint64) {
 		return
 	}
 	r.Metrics.MsgsDelivered++
+	if r.obsReg != nil {
+		r.obsReg.NoteRecv(int(env.To))
+	}
 	dst.deliver(env)
 }
 
@@ -411,6 +471,9 @@ func (r *Runtime) deliverSlot(arg uint64) {
 // latencies.
 func (r *Runtime) send(env Envelope) {
 	r.Metrics.MsgsSent++
+	if r.obsReg != nil {
+		r.obsReg.NoteSend(int(env.From), env.Type)
+	}
 	if r.cfg.LossProb > 0 && r.lossSrc.Bool(r.cfg.LossProb) {
 		r.Metrics.MsgsLost++
 		return

@@ -49,11 +49,21 @@ type Metrics struct {
 	MsgsLost int64
 	// MsgsDead counts envelopes that arrived at a crashed or absent node.
 	MsgsDead int64
+	// MsgsMulticast counts the envelopes sent on behalf of Multicast calls
+	// (each copy is also counted in MsgsSent).
+	MsgsMulticast int64
 	// QueryProbes counts query-time RTT measurements (pings) issued.
 	QueryProbes int64
 	// MaintProbes counts maintenance RTT measurements issued.
 	MaintProbes int64
-	// Timeouts counts RPCs that expired without a response.
+	// ExpiriesScheduled counts request-expiry events parked in the timeout
+	// slab; ExpiriesFired counts those that ran. The difference is the
+	// number of expiry records still pending — the accounting identity the
+	// invariants tests assert.
+	ExpiriesScheduled int64
+	ExpiriesFired     int64
+	// Timeouts counts RPCs that expired without a response (the subset of
+	// ExpiriesFired whose request was still outstanding at a live node).
 	Timeouts int64
 }
 

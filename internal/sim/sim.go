@@ -100,6 +100,7 @@ type Sim struct {
 	now      time.Duration
 	seq      uint64
 	queue    eventQueue
+	queueHW  int
 	stopped  bool
 	handlers []func(arg uint64)
 	// Executed counts events run, a cheap progress/cost metric.
@@ -127,6 +128,9 @@ func (s *Sim) At(t time.Duration, fn func()) {
 	}
 	s.seq++
 	s.queue.push(event{at: t, seq: s.seq, fn: fn})
+	if len(s.queue) > s.queueHW {
+		s.queueHW = len(s.queue)
+	}
 }
 
 // After schedules fn after delay d.
@@ -186,6 +190,9 @@ func (s *Sim) AtHandler(t time.Duration, h HandlerID, arg uint64) {
 	}
 	s.seq++
 	s.queue.push(event{at: t, seq: s.seq, hw: uint64(h)<<48 | arg})
+	if len(s.queue) > s.queueHW {
+		s.queueHW = len(s.queue)
+	}
 }
 
 // AfterHandler schedules handler h with arg after delay d.
@@ -240,3 +247,9 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return len(s.queue) }
+
+// QueueHighWater returns the largest number of events that have ever been
+// queued at once — the kernel-side health stat the observability sampler
+// reads alongside Pending. Tracking it is one compare per push; the event
+// struct itself is untouched.
+func (s *Sim) QueueHighWater() int { return s.queueHW }

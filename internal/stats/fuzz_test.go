@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogramObserve pins the batch and incremental histogram paths to
+// each other: NewLogHistogram over a slice must produce exactly the counts
+// that NewEmptyLogHistogram + Observe produce one sample at a time. The
+// seeds sit on and one ulp around the bin edges, where a drifted binning
+// formula would first disagree.
+func FuzzHistogramObserve(f *testing.F) {
+	const lo, hi = 1.0, 1000.0
+	const nBins = 7
+	ref := NewEmptyLogHistogram(lo, hi, nBins)
+	for _, e := range ref.Edges {
+		f.Add(e)
+		f.Add(math.Nextafter(e, 0))
+		f.Add(math.Nextafter(e, math.Inf(1)))
+	}
+	f.Add(0.0)
+	f.Add(-3.5)
+	f.Add(lo / 10)
+	f.Add(hi * 10)
+	f.Add(math.Sqrt(lo * hi))
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip("binning of non-finite samples is unspecified")
+		}
+		batch := NewLogHistogram([]float64{x}, lo, hi, nBins)
+		inc := NewEmptyLogHistogram(lo, hi, nBins)
+		inc.Observe(x)
+		if inc.Total() != 1 || batch.Total() != 1 {
+			t.Fatalf("totals: batch=%d incremental=%d, want 1", batch.Total(), inc.Total())
+		}
+		bin := -1
+		for i := range inc.Counts {
+			if batch.Counts[i] != inc.Counts[i] {
+				t.Fatalf("x=%v: bin %d batch=%d incremental=%d", x, i, batch.Counts[i], inc.Counts[i])
+			}
+			if inc.Counts[i] == 1 {
+				bin = i
+			}
+		}
+		if bin < 0 || bin >= nBins {
+			t.Fatalf("x=%v landed in no bin", x)
+		}
+		// In-range samples must land in a bin whose edges bracket them,
+		// up to one ulp of rounding in the log-domain index arithmetic.
+		if x > lo && x < hi {
+			const tol = 1e-9
+			if x < inc.Edges[bin]*(1-tol) || x > inc.Edges[bin+1]*(1+tol) {
+				t.Fatalf("x=%v binned into [%v, %v]", x, inc.Edges[bin], inc.Edges[bin+1])
+			}
+		}
+		// Clamping: below-range (and non-positive) samples take the first
+		// bin, above-range the last.
+		if x <= lo && bin != 0 {
+			t.Fatalf("x=%v below lo=%v landed in bin %d", x, lo, bin)
+		}
+		if x >= hi && bin != nBins-1 {
+			t.Fatalf("x=%v above hi=%v landed in bin %d", x, hi, bin)
+		}
+		q := inc.Quantile(0.5)
+		if q < inc.Edges[bin]*(1-1e-12) || q > inc.Edges[bin+1]*(1+1e-12) {
+			t.Fatalf("x=%v: median %v outside its bin [%v, %v]", x, q, inc.Edges[bin], inc.Edges[bin+1])
+		}
+	})
+}

@@ -257,14 +257,35 @@ func summarizeBin(x float64, ys []float64) PercentileBin {
 }
 
 // Histogram counts samples into nBins log-spaced bins across [min, max].
+// Build one with NewLogHistogram (batch) or NewEmptyLogHistogram (then feed
+// it incrementally with Observe); the two produce byte-identical counts for
+// the same samples because they share the binning arithmetic.
 type Histogram struct {
 	Edges  []float64 // len nBins+1
 	Counts []int     // len nBins
+	// logLo/width cache the binning transform so Observe recomputes
+	// nothing; recomputing them from Edges would not be bit-exact
+	// (Exp(Log(lo)) can be a ulp off lo), so they are set only by the
+	// constructors.
+	logLo float64
+	width float64
 }
 
 // NewLogHistogram builds a log-spaced histogram of xs over [lo, hi].
 // Samples outside the range are clamped into the first/last bin.
 func NewLogHistogram(xs []float64, lo, hi float64, nBins int) *Histogram {
+	h := NewEmptyLogHistogram(lo, hi, nBins)
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	return h
+}
+
+// NewEmptyLogHistogram builds a zero-count log-spaced histogram over
+// [lo, hi] with nBins bins, ready for incremental Observe calls. It is the
+// streaming twin of NewLogHistogram: the observability registry feeds one
+// sample per lookup instead of batching a slice.
+func NewEmptyLogHistogram(lo, hi float64, nBins int) *Histogram {
 	if lo <= 0 || hi <= lo || nBins <= 0 {
 		panic("stats: NewLogHistogram requires 0 < lo < hi and nBins > 0")
 	}
@@ -276,22 +297,72 @@ func NewLogHistogram(xs []float64, lo, hi float64, nBins int) *Histogram {
 	for i := 0; i <= nBins; i++ {
 		h.Edges[i] = math.Exp(logLo + (logHi-logLo)*float64(i)/float64(nBins))
 	}
-	width := (logHi - logLo) / float64(nBins)
-	for _, x := range xs {
-		if x <= 0 {
-			h.Counts[0]++
+	h.logLo = logLo
+	h.width = (logHi - logLo) / float64(nBins)
+	return h
+}
+
+// Observe adds one sample, clamping out-of-range values into the first/last
+// bin exactly like NewLogHistogram. It never allocates, so it is safe on
+// simulation hot paths. Only histograms built by the constructors may be
+// observed into: a hand-assembled Histogram lacks the cached binning
+// transform.
+func (h *Histogram) Observe(x float64) {
+	if x <= 0 {
+		h.Counts[0]++
+		return
+	}
+	idx := int((math.Log(x) - h.logLo) / h.width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of samples observed into the histogram.
+func (h *Histogram) Total() int {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	return total
+}
+
+// Quantile estimates the q-th quantile from the binned counts, locating the
+// bin where the cumulative count crosses q·total and interpolating
+// geometrically (linearly in log space) inside it. Resolution is therefore
+// one bin width; NaN for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
 			continue
 		}
-		idx := int((math.Log(x) - logLo) / width)
-		if idx < 0 {
-			idx = 0
+		if cum+float64(c) >= target {
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			lo, hi := h.Edges[i], h.Edges[i+1]
+			return lo * math.Pow(hi/lo, frac)
 		}
-		if idx >= nBins {
-			idx = nBins - 1
-		}
-		h.Counts[idx]++
+		cum += float64(c)
 	}
-	return h
+	return h.Edges[len(h.Edges)-1]
 }
 
 // Series is a named sequence of points, the unit the figure harness prints.

@@ -31,6 +31,7 @@ import (
 	"slices"
 	"time"
 
+	"nearestpeer/internal/obs"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
@@ -644,20 +645,24 @@ type walkCand struct {
 func (w *Wire) FindNearest(client p2p.NodeID, done func(WireResult)) {
 	n := w.rt.AddNode(client)
 	res := WireResult{Peer: p2p.NoNode}
+	var lseq uint64
+	if rec := w.rt.FlightRecorder(); rec != nil {
+		lseq = rec.Begin()
+	}
 	if st := w.state(client); st != nil {
 		// A member already has a coordinate; walk from itself.
 		tc := st.coord.Clone()
-		w.walk(n, client, tc, client, &res, done)
+		w.walk(n, client, lseq, tc, client, &res, done)
 		return
 	}
-	w.place(n, client, &res, done)
+	w.place(n, client, lseq, &res, done)
 }
 
 // place positions a non-member: sequential coordinate probes against
 // random members, then the static placement iteration over the collected
 // (coordinate, RTT) observations.
-func (w *Wire) place(n *p2p.Node, client p2p.NodeID, res *WireResult, done func(WireResult)) {
-	type obs struct {
+func (w *Wire) place(n *p2p.Node, client p2p.NodeID, lseq uint64, res *WireResult, done func(WireResult)) {
+	type placeObs struct {
 		from  p2p.NodeID
 		coord *Coord
 		rtt   float64
@@ -670,7 +675,7 @@ func (w *Wire) place(n *p2p.Node, client p2p.NodeID, res *WireResult, done func(
 		}
 		targets = append(targets, m)
 	}
-	var observations []obs
+	var observations []placeObs
 	var step func(i int)
 	step = func(i int) {
 		if i >= len(targets) {
@@ -692,7 +697,7 @@ func (w *Wire) place(n *p2p.Node, client p2p.NodeID, res *WireResult, done func(
 					best = o
 				}
 			}
-			w.walk(n, client, tc, best.from, res, done)
+			w.walk(n, client, lseq, tc, best.from, res, done)
 			return
 		}
 		w.rt.Metrics.QueryProbes++
@@ -700,14 +705,22 @@ func (w *Wire) place(n *p2p.Node, client p2p.NodeID, res *WireResult, done func(
 		start := w.rt.Kernel.Now()
 		n.Request(targets[i], MsgProbe, nil, w.cfg.RPCTimeout,
 			func(env p2p.Envelope) {
+				rtt := float64(w.rt.Kernel.Now()-start) / float64(time.Millisecond)
+				if rec := w.rt.FlightRecorder(); rec != nil {
+					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgProbe,
+						From: int(n.ID), To: int(targets[i]), At: start, RTTms: rtt, Outcome: obs.HopOK})
+				}
 				if s, ok := env.Payload.(*gossipSnap); ok {
 					c := &Coord{Vec: append([]float64(nil), s.Vec...), Height: s.Height, Err: s.Err}
-					rtt := float64(w.rt.Kernel.Now()-start) / float64(time.Millisecond)
-					observations = append(observations, obs{from: targets[i], coord: c, rtt: rtt})
+					observations = append(observations, placeObs{from: targets[i], coord: c, rtt: rtt})
 				}
 				step(i + 1)
 			},
 			func() {
+				if rec := w.rt.FlightRecorder(); rec != nil {
+					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgProbe,
+						From: int(n.ID), To: int(targets[i]), At: start, Outcome: obs.HopTimeout})
+				}
 				res.Dead++
 				step(i + 1)
 			})
@@ -727,7 +740,7 @@ func containsID(list []p2p.NodeID, id p2p.NodeID) bool {
 
 // walk runs the greedy descent from start toward the target coordinate tc,
 // collecting every answered candidate, then hands off to verification.
-func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, tc *Coord, start p2p.NodeID, res *WireResult, done func(WireResult)) {
+func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, lseq uint64, tc *Coord, start p2p.NodeID, res *WireResult, done func(WireResult)) {
 	var cands []walkCand
 	addCand := func(id p2p.NodeID, pred float64) {
 		if id == client || id == p2p.NoNode {
@@ -753,8 +766,16 @@ func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, tc *Coord, start p2p.NodeID,
 			return
 		}
 		visited[cur] = true
+		hopStart := w.rt.Kernel.Now()
+		hopTo := cur
 		n.Request(cur, MsgWalk, payload, w.cfg.RPCTimeout,
 			func(env p2p.Envelope) {
+				if rec := w.rt.FlightRecorder(); rec != nil {
+					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgWalk,
+						From: int(n.ID), To: int(hopTo), At: hopStart,
+						RTTms:   float64(w.rt.Kernel.Now()-hopStart) / float64(time.Millisecond),
+						Outcome: obs.HopOK})
+				}
 				ok := env.Payload.(walkOKMsg)
 				addCand(env.From, ok.SelfPred)
 				addCand(ok.Best, ok.BestPred)
@@ -770,6 +791,10 @@ func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, tc *Coord, start p2p.NodeID,
 				step()
 			},
 			func() {
+				if rec := w.rt.FlightRecorder(); rec != nil {
+					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgWalk,
+						From: int(n.ID), To: int(hopTo), At: hopStart, Outcome: obs.HopTimeout})
+				}
 				// Dead or lost hop: verify what the walk has so far.
 				w.verify(n, cands, res, done)
 			})
