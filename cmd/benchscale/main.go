@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/benchhot"
+	"nearestpeer/internal/engine"
 	"nearestpeer/internal/experiments"
 	"nearestpeer/internal/netmodel"
 )
@@ -50,7 +51,12 @@ type Row struct {
 type Output struct {
 	// Schema names the layout so downstream tooling can evolve with it.
 	Schema string `json:"schema"`
-	Rows   []Row  `json:"rows"`
+	// GOMAXPROCS records the parallelism the suite actually had: the sharded
+	// scale rows measure real speedup only when it exceeds the shard count
+	// (on a 1-CPU runner they measure the sharding overhead instead, which
+	// is worth tracking too — honestly labelled).
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Rows       []Row `json:"rows"`
 }
 
 func rowOf(name string, r testing.BenchmarkResult) Row {
@@ -119,28 +125,41 @@ func main() {
 	run("rtt_cache_hit", func(b *testing.B) { benchhot.RTTCacheHit(b, top) })
 	run("kernel_handler_cascade", benchhot.KernelHandlerCascade)
 
-	// The s1 smoke slice: 1k hosts, all three algorithms. events/sec is
-	// kernel events executed per wall second across the wire cells.
-	var events uint64
-	var elapsed time.Duration
-	res := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			start := time.Now()
-			r := experiments.ScaleStudyAt([]int{1000}, 20, 1)
-			elapsed += time.Since(start)
-			for _, c := range r.Cells {
-				events += c.Events
+	// The s1 smoke slice: 1k hosts, all three algorithms, at kernel shard
+	// counts 1 and 4. events/sec is kernel events executed per wall second
+	// across the wire cells. The two rows are the sharded kernel's
+	// throughput trajectory; the figures they produce are byte-identical
+	// (the determinism tests pin that), so any delta is pure wall-clock.
+	s1Smoke := func(name string, shards int) {
+		prev := engine.SetShards(shards)
+		defer engine.SetShards(prev)
+		var events uint64
+		var elapsed time.Duration
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				r := experiments.ScaleStudyAt([]int{1000}, 20, 1)
+				elapsed += time.Since(start)
+				for _, c := range r.Cells {
+					events += c.Events
+				}
 			}
+		})
+		row := rowOf(name, res)
+		if elapsed > 0 {
+			row.EventsPerSec = float64(events) / elapsed.Seconds()
 		}
-	})
-	row := rowOf("scale_study_smoke_1k", res)
-	if elapsed > 0 {
-		row.EventsPerSec = float64(events) / elapsed.Seconds()
+		rows = append(rows, row)
+		fmt.Printf("%-28s %12.1f ns/op %27.0f events/sec\n", row.Name, row.NsPerOp, row.EventsPerSec)
 	}
-	rows = append(rows, row)
-	fmt.Printf("%-28s %12.1f ns/op %27.0f events/sec\n", row.Name, row.NsPerOp, row.EventsPerSec)
+	s1Smoke("scale_study_smoke_1k", 1)
+	s1Smoke("scale_study_smoke_1k_sh4", 4)
 
-	data, err := json.MarshalIndent(Output{Schema: "nearestpeer/bench_scale/v1", Rows: rows}, "", "  ")
+	data, err := json.MarshalIndent(Output{
+		Schema:     "nearestpeer/bench_scale/v1",
+		GOMAXPROCS: goruntime.GOMAXPROCS(0),
+		Rows:       rows,
+	}, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchscale:", err)
 		os.Exit(1)

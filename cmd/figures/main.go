@@ -19,9 +19,11 @@ func main() {
 	outDir := flag.String("out", "", "directory to write per-figure text files")
 	only := flag.String("only", "", "run a single experiment (e.g. fig8, table1, a3, s1)")
 	workers := flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS); figures are byte-identical at any width")
+	shards := flag.Int("shards", 1, "intra-trial kernel shards for the scale-study wire cells; figures are byte-identical at any count")
 	flag.Parse()
 
 	engine.SetWorkers(*workers)
+	engine.SetShards(*shards)
 	scale := experiments.Quick
 	if *full {
 		scale = experiments.Full

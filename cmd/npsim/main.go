@@ -49,6 +49,7 @@ func main() {
 	churn := flag.Bool("churn", false, "drive membership churn during queries (requires -runtime)")
 	scaleN := flag.Int("scale", 0, "run the s1 scale study at this host population (all three algorithms) and exit")
 	workers := flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS); results are byte-identical at any width")
+	shards := flag.Int("shards", 1, "intra-trial kernel shards for the scale-study wire cells; results are byte-identical at any count")
 	tracePath := flag.String("trace", "", "write a flight-recorder JSON dump of the run's lookup hops to this file (requires -runtime)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
@@ -82,6 +83,7 @@ func main() {
 	}
 
 	engine.SetWorkers(*workers)
+	engine.SetShards(*shards)
 	if *tracePath != "" && !*runtime {
 		fmt.Fprintln(os.Stderr, "-trace requires -runtime (the flight recorder hooks the message runtime's lookup paths)")
 		os.Exit(2)

@@ -94,6 +94,34 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// defaultShards is the process-wide intra-trial shard count for studies
+// whose cells run on a sharded kernel; 1 (the zero default) keeps cells
+// single-shard. cmd/npsim and cmd/figures set it from their -shards flag.
+var defaultShards atomic.Int64
+
+// SetShards sets the process-wide shard count. n <= 1 restores the
+// single-shard default. It returns the previous setting.
+func SetShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	prev := int(defaultShards.Swap(int64(n)))
+	if prev < 1 {
+		prev = 1
+	}
+	return prev
+}
+
+// Shards returns the process-wide shard count (at least 1). The figure
+// bytes are shard-count-invariant by the sharded kernel's determinism
+// contract; only wall-clock changes.
+func Shards() int {
+	if d := int(defaultShards.Load()); d > 1 {
+		return d
+	}
+	return 1
+}
+
 // TrialPanic is what Run re-raises on the calling goroutine when a trial
 // panics: the original panic value plus the failing trial's stack, so
 // neither the value's type (callers may type-switch in recover) nor the
@@ -133,6 +161,15 @@ func Run[T any](cfg Config, n int, fn func(*Trial) T) []T {
 	}
 	results := make([]T, n)
 	workers := Workers(cfg.Workers)
+	if s := Shards(); s > 1 {
+		// Sharded cells run s kernel goroutines inside one trial; splitting
+		// the pool keeps total concurrency near the workers budget instead
+		// of multiplying it.
+		workers = workers / s
+		if workers < 1 {
+			workers = 1
+		}
+	}
 	if workers > n {
 		workers = n
 	}

@@ -70,11 +70,12 @@ type ScaleStudyResult struct {
 }
 
 // scaleStudySizes returns the population sweep per scale. Quick stays
-// within CI budgets; Full reaches the 100k-host regime where the related
-// survey work says overlay costs diverge.
+// within CI budgets; Full reaches past the 100k-host regime where the
+// related survey work says overlay costs diverge, up to the 1M-host trial
+// the sharded kernel exists for.
 func scaleStudySizes(s Scale) []int {
 	if s == Full {
-		return []int{1000, 10000, 100000}
+		return []int{1000, 10000, 100000, 1000000}
 	}
 	return []int{1000, 2500, 5000}
 }
@@ -181,25 +182,28 @@ func ScaleStudyAt(sizes []int, queries int, seed int64) *ScaleStudyResult {
 	}
 	out := &ScaleStudyResult{Seed: seed, Queries: queries}
 	out.Cells = engine.Map(engine.Config{Seed: seed, Label: "s1"}, specs,
-		func(t *engine.Trial, s cellSpec) ScaleCell {
-			// Each cell owns its matrix and therefore its RTT cache: the
-			// topology is shared read-only, the cache is trial-private
+		func(_ *engine.Trial, s cellSpec) ScaleCell {
+			// Each cell owns its matrices and therefore its RTT caches: the
+			// topology is shared read-only, the caches are trial-private
 			// (cached values are bit-identical to direct pricing, so the
-			// figure cannot depend on it).
-			m := (&latency.FullTopologyMatrix{Top: s.top}).EnableRTTCache(0)
+			// figure cannot depend on them). The wire cells run on the
+			// sharded kernel at the process shard count — the figure is
+			// byte-identical at every -shards value by the kernel's
+			// determinism contract.
 			start := time.Now()
 			var cell ScaleCell
 			switch s.algo {
 			case "meridian":
+				m := (&latency.FullTopologyMatrix{Top: s.top}).EnableRTTCache(0)
 				cell = scaleMeridianCell(m, queries, seed)
 			case "expanding":
-				cell = scaleExpandingCell(t.Kernel, m, queries, seed)
+				cell = scaleExpandingCell(s.top, queries, seed)
 			case "chord":
-				cell = scaleChordCell(m, queries, seed)
+				cell = scaleChordCell(s.top, queries, seed)
 			}
 			cell.Algo = s.algo
 			cell.Nominal = s.nominal
-			cell.Hosts = m.N()
+			cell.Hosts = s.top.NumHosts()
 			cell.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
 			if cell.WallMs > 0 && cell.Queries > 0 {
 				// Throughput counts the operations the cell actually
@@ -244,41 +248,65 @@ func scaleMeridianCell(m latency.Matrix, queries int, seed int64) ScaleCell {
 // scaleExpandingCell runs the Section 5 expanding-ring search as a message
 // protocol: every member subscribes to the well-known group, each query
 // multicasts growing latency scopes from a held-out target until the first
-// member answers. The kernel is the trial's own (see engine.Trial).
-func scaleExpandingCell(kernel *sim.Sim, m latency.Matrix, queries int, seed int64) ScaleCell {
-	members, targets := scaleSplit(m.N(), seed+1)
-	rt := p2p.New(kernel, m, p2p.Config{}, seed)
+// member answers. It runs on the sharded kernel at the process shard count:
+// the query chain is strictly sequential (search q+1 starts only after q
+// resolved), so the target draws and score counters are causally ordered —
+// the window barrier gives the happens-before — and the cell is
+// byte-identical at every -shards value. Oracles and sender indexes are
+// precomputed at setup: both mutate state shared across shards (an RTT
+// cache, the group's sender map), which only the single-threaded setup
+// phase may touch.
+func scaleExpandingCell(top *netmodel.Topology, queries int, seed int64) ScaleCell {
+	members, targets := scaleSplit(top.NumHosts(), seed+1)
+	k := engine.Shards()
+	shk := sim.NewSharded(k, netmodel.Duration(top.MinCrossPoPOneWayMs()))
+	ms := make([]latency.Matrix, k)
+	for s := range ms {
+		ms[s] = (&latency.FullTopologyMatrix{Top: top}).EnableRTTCache(0)
+	}
+	rt := p2p.NewSharded(shk, ms, p2p.Config{}, seed, top.ShardByPoP(k))
 	ex := p2p.NewExpanding(rt, p2p.DefaultExpandConfig())
 	for _, id := range members {
 		ex.Register(p2p.NodeID(id))
 	}
+	om := (&latency.FullTopologyMatrix{Top: top}).EnableRTTCache(0)
+	oracle := make(map[int]int, len(targets))
 	for _, id := range targets {
 		rt.AddNode(p2p.NodeID(id))
+		rt.WarmSenderIndex(p2p.ExpandGroup, p2p.NodeID(id))
+		oracle[id] = overlay.TrueNearest(om, id, members).Peer
 	}
 
 	src := rng.New(seed + 3)
 	exact := 0
 	var copies int64
 	q := 0
-	var step func()
-	step = func() {
+	gap := 100 * time.Millisecond
+	if d := rt.HandoffDelay(); gap < d {
+		gap = d
+	}
+	// step issues the next search; it runs as an event on fromShard (the
+	// shard the previous search's client lives on, or the driver at start).
+	var step func(fromShard int)
+	step = func(fromShard int) {
 		if q >= queries {
-			kernel.Stop()
+			shk.StopAt(shk.Shard(fromShard).Now())
 			return
 		}
 		q++
 		tgt := targets[src.Intn(len(targets))]
-		oracle := overlay.TrueNearest(m, tgt, members)
-		ex.Search(p2p.NodeID(tgt), func(res p2p.ExpandResult) {
-			copies += int64(res.Messages)
-			if res.Found && res.Peer == oracle.Peer {
-				exact++
-			}
-			kernel.After(100*time.Millisecond, step)
+		rt.Handoff(fromShard, p2p.NodeID(tgt), gap, func() {
+			ex.Search(p2p.NodeID(tgt), func(res p2p.ExpandResult) {
+				copies += int64(res.Messages)
+				if res.Found && res.Peer == oracle[tgt] {
+					exact++
+				}
+				step(rt.ShardOf(p2p.NodeID(tgt)))
+			})
 		})
 	}
-	kernel.After(0, step)
-	kernel.Run()
+	shk.Shard(p2p.DriverShard).At(0, func() { step(p2p.DriverShard) })
+	shk.Run()
 
 	n := float64(queries)
 	return ScaleCell{
@@ -286,19 +314,21 @@ func scaleExpandingCell(kernel *sim.Sim, m latency.Matrix, queries int, seed int
 		Queries:      queries,
 		Success:      float64(exact) / n,
 		CostPerQuery: float64(copies) / n,
-		MsgsPerQuery: float64(rt.Metrics.MsgsSent) / n,
-		Events:       kernel.Executed,
+		MsgsPerQuery: float64(rt.TotalMetrics().MsgsSent) / n,
+		Events:       shk.Executed(),
 	}
 }
 
 // scaleChordCell exercises the wire Chord substrate at ring size ≈ hosts:
-// sequential Put+Get pairs after a scale-tuned join ramp and settle.
-func scaleChordCell(m latency.Matrix, queries int, seed int64) ScaleCell {
-	ccfg, spacing, settle := scaleChordConfig(m.N())
-	row := RunWireChord(m, WireChordOpts{
+// sequential Put+Get pairs after a scale-tuned join ramp and settle, on the
+// sharded kernel at the process shard count.
+func scaleChordCell(top *netmodel.Topology, queries int, seed int64) ScaleCell {
+	ccfg, spacing, settle := scaleChordConfig(top.NumHosts())
+	row := RunWireChord(nil, WireChordOpts{
 		Ops: queries, Seed: seed,
 		Chord: ccfg, JoinSpacing: spacing, Settle: settle,
 		Horizon: 4 * time.Hour,
+		Shards:  engine.Shards(), Top: top,
 	})
 	// Queries is the operations actually issued: a run the horizon cut
 	// short reports what it did (possibly 0), never the nominal count.

@@ -33,6 +33,34 @@ func TestScaleStudyDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestScaleStudyShardInvariance is the sharded kernel's contract at study
+// level: the rendered figure — and every deterministic cell field — must be
+// byte-identical at every -shards value. Run with -race in CI, this is also
+// the cross-shard mailbox and barrier stress for the full p2p stack.
+func TestScaleStudyShardInvariance(t *testing.T) {
+	sizes := []int{300, 700}
+	atShards := func(k int) *ScaleStudyResult {
+		prev := engine.SetShards(k)
+		defer engine.SetShards(prev)
+		return ScaleStudyAt(sizes, 8, 1)
+	}
+	base := atShards(1)
+	for _, k := range []int{2, 4} {
+		got := atShards(k)
+		if a, b := base.Render(), got.Render(); a != b {
+			t.Fatalf("figure differs between -shards=1 and -shards=%d:\n--- k=1 ---\n%s\n--- k=%d ---\n%s", k, a, k, b)
+		}
+		for i := range base.Cells {
+			a, b := base.Cells[i], got.Cells[i]
+			a.WallMs, a.QPS = 0, 0
+			b.WallMs, b.QPS = 0, 0
+			if a != b {
+				t.Fatalf("cell %d differs across shard counts:\n  k=1: %+v\n  k=%d: %+v", i, a, k, b)
+			}
+		}
+	}
+}
+
 func TestScaleStudyCellsWellFormed(t *testing.T) {
 	r := ScaleStudyAt([]int{400}, 6, 2)
 	if len(r.Cells) != len(scaleAlgos) {

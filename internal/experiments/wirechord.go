@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/latency"
+	"nearestpeer/internal/netmodel"
 	"nearestpeer/internal/obs"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
@@ -48,6 +49,16 @@ type WireChordOpts struct {
 	// flight recorder (npsim -trace). It is passive: results are
 	// byte-identical with or without it.
 	Recorder *obs.Recorder
+	// Shards, when >= 1, runs the ring on a sharded kernel with that many
+	// shards (Top required; loss, churn and the recorder are serial-only).
+	// Results are byte-identical at every shard count — including 1, which
+	// runs the same windowed path — but differ from the Shards == 0 legacy
+	// serial path, whose op pacing has no cross-shard handoff delay.
+	Shards int
+	// Top is the topology whose PoP structure partitions the hosts and
+	// whose cross-PoP latency floor sets the lookahead window. Required
+	// when Shards >= 1; the matrix positions must be Top's host IDs.
+	Top *netmodel.Topology
 }
 
 // WireChordRow reports the run.
@@ -77,6 +88,9 @@ type WireChordRow struct {
 func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 	if opts.Horizon <= 0 {
 		opts.Horizon = 2 * time.Hour
+	}
+	if opts.Shards >= 1 {
+		return runWireChordSharded(opts)
 	}
 	n := opts.Nodes
 	if n <= 0 || n > m.N() {
@@ -182,5 +196,144 @@ func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 	if churn != nil {
 		row.Leaves, row.Joins = churn.Leaves, churn.Joins
 	}
+	return row
+}
+
+// runWireChordSharded is the Shards >= 1 path: the same ring exercise on a
+// sharded kernel. Hosts are partitioned PoP-atomically (every cross-shard
+// pair is cross-PoP), the lookahead window is the topology's cross-PoP
+// one-way floor, and each shard prices through its own RTT-cached matrix
+// view. The sequential op chain hops between issuing nodes with Handoff
+// delays that are topology constants, and the run is cut in virtual time
+// (StopAt) when the last op completes — every coordinate the schedule
+// depends on is shard-count-invariant, so the row is byte-identical at any
+// Shards value (the determinism test pins 1 == 2 == 4).
+func runWireChordSharded(opts WireChordOpts) WireChordRow {
+	top := opts.Top
+	if top == nil {
+		panic("experiments: sharded wire chord needs a topology")
+	}
+	if opts.Loss != 0 || opts.Churn || opts.Recorder != nil {
+		panic("experiments: loss, churn and the flight recorder are serial-only")
+	}
+	k := opts.Shards
+	pop := top.NumHosts()
+	n := opts.Nodes
+	if n <= 0 || n > pop {
+		n = pop
+	}
+	window := netmodel.Duration(top.MinCrossPoPOneWayMs())
+	shk := sim.NewSharded(k, window)
+	ms := make([]latency.Matrix, k)
+	for s := range ms {
+		ms[s] = (&latency.FullTopologyMatrix{Top: top}).EnableRTTCache(0)
+	}
+	rt := p2p.NewSharded(shk, ms, p2p.Config{}, opts.Seed, top.ShardByPoP(k))
+	ccfg := opts.Chord
+	if ccfg.StabilizeEvery <= 0 {
+		ccfg = p2p.DefaultChordConfig()
+	}
+	ccfg.Horizon = opts.Horizon
+	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)
+	ids := make([]p2p.NodeID, n)
+	for i := range ids {
+		ids[i] = p2p.NodeID(i)
+	}
+	driver := shk.Shard(p2p.DriverShard)
+	joinEnd := chordJoinRamp(driver, chord, ids, opts.JoinSpacing)
+	settle := opts.Settle
+	if settle <= 0 {
+		settle = chordSettle
+	}
+	opsStart := joinEnd + settle
+
+	row := WireChordRow{Nodes: n}
+	src := rng.New(opts.Seed + 3)
+	putOK, getOK := 0, 0
+	var hops, retries int64
+	issued := 0
+	liveNode := func() p2p.NodeID { return ids[src.Intn(len(ids))] }
+	// The handoff delays are topology constants (>= the lookahead window at
+	// any realistic topology; max() covers degenerate ones), never functions
+	// of the shard count — the op chain's virtual times must not move with K.
+	delta := rt.HandoffDelay()
+	opGap := 100 * time.Millisecond
+	if opGap < delta {
+		opGap = delta
+	}
+	// step issues the next Put+Get pair; it runs as an event on fromShard
+	// (the shard the previous op completed on, or the driver at start).
+	var step func(fromShard int)
+	step = func(fromShard int) {
+		if issued >= opts.Ops {
+			// Cut the run in virtual time: no window starting after the
+			// last completion runs, and stabilize events already inside the
+			// final windows execute on every K alike.
+			shk.StopAt(shk.Shard(fromShard).Now())
+			return
+		}
+		issued++
+		key := fmt.Sprintf("bench/%d", issued)
+		val := []byte(key)
+		pfrom := liveNode()
+		rt.Handoff(fromShard, pfrom, opGap, func() {
+			chord.Put(pfrom, key, val, func(pr p2p.OpResult) {
+				hops += int64(pr.Hops)
+				retries += int64(pr.Retries)
+				row.LookupFails += int64(pr.LookupFails)
+				if pr.OK {
+					putOK++
+				}
+				gfrom := liveNode()
+				rt.Handoff(rt.ShardOf(pfrom), gfrom, delta, func() {
+					chord.Get(gfrom, key, func(gr p2p.OpResult) {
+						hops += int64(gr.Hops)
+						retries += int64(gr.Retries)
+						row.LookupFails += int64(gr.LookupFails)
+						if gr.OK {
+							for _, v := range gr.Vals {
+								if string(v) == key {
+									getOK++
+									break
+								}
+							}
+						}
+						step(rt.ShardOf(gfrom))
+					})
+				})
+			})
+		})
+	}
+	// Per-shard maintenance-message snapshots at the traffic start time:
+	// each shard reads its own counter at its local clock, so no shard ever
+	// peeks at another's metrics mid-run. Scheduled at setup, the snapshot
+	// sorts before any same-instant runtime event on its shard.
+	msgsStartSh := make([]int64, k)
+	for s := 0; s < k; s++ {
+		s := s
+		shk.Shard(s).At(opsStart, func() { msgsStartSh[s] = rt.ShardMetrics(s).MsgsSent })
+	}
+	driver.At(opsStart, func() { step(p2p.DriverShard) })
+	shk.RunUntil(opts.Horizon)
+
+	var msgsStart int64
+	for _, v := range msgsStartSh {
+		msgsStart += v
+	}
+	total := rt.TotalMetrics()
+	nOps := float64(issued)
+	if issued == 0 {
+		nOps = 1
+	}
+	row.Ops = issued
+	row.PutOK = float64(putOK) / nOps
+	row.GetOK = float64(getOK) / nOps
+	row.MeanHops = float64(hops) / nOps
+	row.MeanRetries = float64(retries) / nOps
+	row.MeanMsgs = float64(total.MsgsSent-msgsStart) / nOps
+	row.Timeouts = total.Timeouts
+	// The k snapshot events above are measurement scaffolding, not model
+	// events; excluding them keeps the figure-visible count K-invariant.
+	row.Events = shk.Executed() - uint64(k)
 	return row
 }

@@ -1,0 +1,72 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMinOneWayMsLowerBounds samples random host pairs and asserts the
+// Generate-time floors actually lower-bound the priced latencies: the
+// global floor against every pair, the cross-PoP floor against cross-PoP
+// pairs. Both floors must also be strictly positive — the sharded kernel
+// turns the cross-PoP one into its lookahead window, and a zero window
+// would serialize every shard.
+func TestMinOneWayMsLowerBounds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		top := Generate(DefaultConfig(), seed)
+		n := top.NumHosts()
+		if top.MinOneWayMs() <= 0 {
+			t.Fatalf("seed %d: MinOneWayMs %v not positive", seed, top.MinOneWayMs())
+		}
+		if top.MinCrossPoPOneWayMs() < top.MinOneWayMs() {
+			t.Fatalf("seed %d: cross-PoP floor %v below global floor %v",
+				seed, top.MinCrossPoPOneWayMs(), top.MinOneWayMs())
+		}
+		src := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20000; i++ {
+			a := HostID(src.Intn(n))
+			b := HostID(src.Intn(n))
+			if a == b {
+				continue
+			}
+			ow := top.OneWayMs(a, b)
+			if ow < top.MinOneWayMs() {
+				t.Fatalf("seed %d: OneWayMs(%d,%d)=%v below floor %v",
+					seed, a, b, ow, top.MinOneWayMs())
+			}
+			if top.PoPOfHost(a) != top.PoPOfHost(b) && ow < top.MinCrossPoPOneWayMs() {
+				t.Fatalf("seed %d: cross-PoP OneWayMs(%d,%d)=%v below cross-PoP floor %v",
+					seed, a, b, ow, top.MinCrossPoPOneWayMs())
+			}
+		}
+	}
+}
+
+// TestShardByPoP checks the partition invariants the sharded kernel's
+// lookahead argument rests on: every host is assigned, PoPs are never
+// split across shards, and k=1 puts everything on shard 0.
+func TestShardByPoP(t *testing.T) {
+	top := Generate(DefaultConfig(), 3)
+	for _, k := range []int{1, 2, 4, 7} {
+		assign := top.ShardByPoP(k)
+		if len(assign) != top.NumHosts() {
+			t.Fatalf("k=%d: %d assignments for %d hosts", k, len(assign), top.NumHosts())
+		}
+		popShard := map[PoPID]int32{}
+		counts := make([]int, k)
+		for h, s := range assign {
+			if s < 0 || int(s) >= k {
+				t.Fatalf("k=%d: host %d on shard %d", k, h, s)
+			}
+			counts[s]++
+			p := top.PoPOfHost(HostID(h))
+			if prev, ok := popShard[p]; ok && prev != s {
+				t.Fatalf("k=%d: PoP %d split across shards %d and %d", k, p, prev, s)
+			}
+			popShard[p] = s
+		}
+		if k == 1 && counts[0] != top.NumHosts() {
+			t.Fatalf("k=1 did not place all hosts on shard 0")
+		}
+	}
+}

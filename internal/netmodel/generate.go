@@ -170,6 +170,7 @@ func Generate(cfg Config, seed int64) *Topology {
 		maxProb: cfg.ShortcutMaxProb, baseProb: cfg.ShortcutBaseProb,
 		minFact: cfg.ShortcutMinFact, maxFact: cfg.ShortcutMaxFact,
 	}
+	computeLatencyFloors(t)
 	return t
 }
 

@@ -216,7 +216,10 @@ type Topology struct {
 	// hot path reads instead of chasing Host/EndNetwork pointers (see
 	// hotpath.go).
 	flat hostFlat
-	cfg  Config
+	// floors holds the Generate-time latency lower bounds the sharded
+	// kernel derives its lookahead window from (see floor.go).
+	floors latencyFloors
+	cfg    Config
 }
 
 // Config returns the generation parameters the topology was built with.

@@ -137,25 +137,43 @@ type Chord struct {
 	rings   []uint64      // rings[id]; valid iff ringSet[id]
 	ringSet []bool
 
-	// cpOut/cpDist are closestPreceding's reusable scratch buffers.
-	cpOut  []NodeID
-	cpDist []uint64
+	// cp holds closestPreceding's reusable scratch buffers, one set per
+	// kernel shard (one on a serial runtime) so routing steps on different
+	// shards never share a buffer.
+	cp []chordScratch
 }
 
-// NewChord creates the protocol instance (with no members yet).
+// chordScratch is one shard's closestPreceding scratch.
+type chordScratch struct {
+	out  []NodeID
+	dist []uint64
+}
+
+// NewChord creates the protocol instance (with no members yet). On a
+// sharded runtime the ring-hash cache is pre-warmed for the whole
+// population — the hash is pure, so warming changes nothing except that
+// the lazy first-touch write (a data race once shards run concurrently)
+// never happens.
 func NewChord(rt *Runtime, cfg ChordConfig, seed int64) *Chord {
 	if cfg.SuccListLen <= 0 || cfg.StabilizeEvery <= 0 || cfg.Replicas <= 0 || cfg.RPCTimeout <= 0 || cfg.MaxHops <= 0 {
 		panic(fmt.Sprintf("p2p: invalid chord config %+v", cfg))
 	}
 	n := rt.m.N()
-	return &Chord{
+	c := &Chord{
 		rt:      rt,
 		cfg:     cfg,
 		src:     rng.New(seed).Split("chord"),
 		states:  make([]*chordState, n),
 		rings:   make([]uint64, n),
 		ringSet: make([]bool, n),
+		cp:      make([]chordScratch, rt.Shards()),
 	}
+	if rt.Sharded() {
+		for id := 0; id < n; id++ {
+			c.ringIDSlow(NodeID(id))
+		}
+	}
+	return c
 }
 
 // Runtime returns the transport the protocol runs on.
@@ -267,10 +285,27 @@ func (c *Chord) Join(id NodeID) {
 	n.Handle(MsgChordFetch, c.handleFetch)
 	n.Handle(MsgChordHandoff, c.handleHandoff)
 	n.Handle(MsgChordMigrate, c.handleMigrate)
-	if boot != NoNode {
-		c.bootstrap(n, st, boot)
+	if !c.rt.Sharded() {
+		if boot != NoNode {
+			c.bootstrap(n, st, boot)
+		}
+		c.scheduleStabilize(id, st)
+		return
 	}
-	c.scheduleStabilize(id, st)
+	// Sharded, Join runs on the driver shard (the join ramp is a driver
+	// chain): the membership bookkeeping above is driver-side state, but
+	// the bootstrap lookup and the stabilize chain are events at the node,
+	// so they hop to its home shard. The handoff delay is a topology
+	// constant, identical at every shard count.
+	c.rt.Handoff(DriverShard, id, c.rt.HandoffDelay(), func() {
+		if c.state(id) != st {
+			return
+		}
+		if boot != NoNode {
+			c.bootstrap(n, st, boot)
+		}
+		c.scheduleStabilize(id, st)
+	})
 }
 
 // Leave takes a member down. A graceful leaver hands its keys to its
@@ -364,7 +399,36 @@ func (c *Chord) adoptSuccessors(st *chordState, self, head NodeID, tail []NodeID
 	st.succs = merged
 }
 
-// randomMember picks a live member other than exclude, or NoNode.
+// pickBootstrap selects a re-bootstrap entry point for a member. Serial,
+// that is a uniform draw from the global membership. Sharded, events at a
+// node must not read the shared member list (the driver mutates it during
+// the join ramp), so the draw comes from the member's own routing state —
+// successors then fingers, via its private stream — which keeps the choice
+// a pure function of node-local state, identical at every shard count.
+func (c *Chord) pickBootstrap(id NodeID, st *chordState) NodeID {
+	if !c.rt.Sharded() {
+		return c.randomMember(id)
+	}
+	var buf [80]NodeID
+	cand := buf[:0]
+	for _, s := range st.succs {
+		if s != NoNode && s != id && !containsNode(cand, s) {
+			cand = append(cand, s)
+		}
+	}
+	for _, f := range st.fingers {
+		if f != NoNode && f != id && !containsNode(cand, f) {
+			cand = append(cand, f)
+		}
+	}
+	if len(cand) == 0 {
+		return NoNode
+	}
+	return cand[st.src.Intn(len(cand))]
+}
+
+// randomMember picks a live member other than exclude, or NoNode. Reads
+// the shared member list: driver-side only on a sharded runtime.
 func (c *Chord) randomMember(exclude NodeID) NodeID {
 	if len(c.order) == 0 {
 		return NoNode
@@ -416,10 +480,10 @@ func containsNode(list []NodeID, id NodeID) bool {
 // node is down without having left (a crash the protocol has not seen).
 func (c *Chord) scheduleStabilize(id NodeID, st *chordState) {
 	d := c.cfg.StabilizeEvery + time.Duration(st.src.Int63n(int64(c.cfg.StabilizeEvery)/4+1))
-	if h := c.cfg.Horizon; h > 0 && c.rt.Kernel.Now()+d > h {
+	if h := c.cfg.Horizon; h > 0 && c.rt.Now(id)+d > h {
 		return
 	}
-	c.rt.Kernel.After(d, func() {
+	c.rt.After(id, d, func() {
 		if c.state(id) != st {
 			return
 		}
@@ -437,7 +501,7 @@ func (c *Chord) stabilizeOnce(id NodeID, st *chordState) {
 	st.round++
 	if len(st.succs) == 0 {
 		// Alone, or the join lookup failed: retry off another member.
-		if boot := c.randomMember(id); boot != NoNode {
+		if boot := c.pickBootstrap(id, st); boot != NoNode {
 			c.bootstrap(n, st, boot)
 		}
 		return
@@ -449,7 +513,7 @@ func (c *Chord) stabilizeOnce(id NodeID, st *chordState) {
 	if st.round%selfLookupEvery == 0 {
 		// Periodic cross-region repair: re-resolve our own successor from
 		// a random entry point (see bootstrap).
-		if boot := c.randomMember(id); boot != NoNode {
+		if boot := c.pickBootstrap(id, st); boot != NoNode {
 			c.bootstrap(n, st, boot)
 		}
 	}
@@ -719,8 +783,9 @@ func (c *Chord) routeStep(self NodeID, st *chordState, key uint64) cFindOKMsg {
 // accepted list and the ordering is an insertion sort on precomputed
 // distances — no map, no sort.Slice closure, no per-call allocation.
 func (c *Chord) closestPreceding(st *chordState, self NodeID, key uint64) []NodeID {
-	out := c.cpOut[:0]
-	dist := c.cpDist[:0]
+	cp := &c.cp[c.rt.ShardOf(self)]
+	out := cp.out[:0]
+	dist := cp.dist[:0]
 	for pass := 0; pass < 2; pass++ {
 		list := st.fingers
 		if pass == 1 {
@@ -754,7 +819,7 @@ func (c *Chord) closestPreceding(st *chordState, self NodeID, key uint64) []Node
 		}
 		dist[j+1], out[j+1] = d, id
 	}
-	c.cpOut, c.cpDist = out, dist // retain grown capacity
+	cp.out, cp.dist = out, dist // retain grown capacity
 	return out
 }
 
@@ -787,7 +852,7 @@ func (c *Chord) handleNotify(n *Node, env Envelope) {
 		return
 	}
 	p := env.From
-	now := c.rt.Kernel.Now()
+	now := c.rt.Now(n.ID)
 	stale := st.pred == NoNode || now-st.predSeen > 3*c.cfg.StabilizeEvery
 	if st.pred == p || stale || dht.Between(c.RingIDOf(p), c.RingIDOf(st.pred), st.ringID) {
 		st.pred = p
@@ -953,10 +1018,14 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 			}
 		}
 	}
-	if st != nil && len(st.succs) == 0 && len(c.order) > 1 {
+	ost := st
+	if st != nil && len(st.succs) == 0 && (c.rt.Sharded() || len(c.order) > 1) {
 		// A member that has not (re)discovered its successor yet would
 		// answer every key with itself — route via the membership instead,
-		// like a non-member, until stabilize re-anchors it.
+		// like a non-member, until stabilize re-anchors it. (Sharded, the
+		// shared member list is driver-side state; the own-state bootstrap
+		// pick below covers the same repair, and a genuinely alone member
+		// simply fails the lookup.)
 		st = nil
 	}
 	if st != nil {
@@ -970,7 +1039,13 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 		push(step.Alts...)
 	} else {
 		if len(starts) == 0 {
-			if b := c.randomMember(n.ID); b != NoNode {
+			if c.rt.Sharded() {
+				if ost != nil {
+					if b := c.pickBootstrap(n.ID, ost); b != NoNode {
+						starts = []NodeID{b}
+					}
+				}
+			} else if b := c.randomMember(n.ID); b != NoNode {
 				starts = []NodeID{b}
 			}
 		}
@@ -1010,7 +1085,7 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 		cur := frontier[best]
 		frontier = append(frontier[:best], frontier[best+1:]...)
 		res.Hops++
-		hopStart := c.rt.Kernel.Now()
+		hopStart := c.rt.Now(n.ID)
 		wasRetry := afterTimeout
 		afterTimeout = false
 		n.Request(cur, MsgChordFind, cFindMsg{Key: key}, c.cfg.RPCTimeout,
@@ -1025,7 +1100,7 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 					}
 					rec.Record(obs.Hop{Lookup: lseq, Scheme: "chord", Type: MsgChordFind,
 						From: int(n.ID), To: int(cur), At: hopStart,
-						RTTms: msOf(c.rt.Kernel.Now() - hopStart), Outcome: out})
+						RTTms: msOf(c.rt.Now(n.ID) - hopStart), Outcome: out})
 				}
 				ok := env.Payload.(cFindOKMsg)
 				if ms := memberState(); ms != nil {

@@ -60,10 +60,15 @@ type Churn struct {
 	src *rng.Source
 }
 
-// NewChurn creates a generator with its own random stream.
+// NewChurn creates a generator with its own random stream. Serial-only:
+// churn toggles liveness and live-count state every shard reads, and its
+// single random stream has no K-invariant draw order.
 func NewChurn(rt *Runtime, cfg ChurnConfig, seed int64) *Churn {
 	if cfg.MeanSession <= 0 || cfg.MeanOffline <= 0 {
 		panic(fmt.Sprintf("p2p: invalid churn config %+v", cfg))
+	}
+	if rt.Sharded() {
+		panic("p2p: churn is serial-only")
 	}
 	return &Churn{rt: rt, cfg: cfg, src: rng.New(seed).Split("churn")}
 }

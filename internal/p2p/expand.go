@@ -86,13 +86,22 @@ type expandSearch struct {
 	done     func(ExpandResult)
 }
 
+// expandSlot is a client's search state: the active search (nil when idle —
+// a client runs at most one search at a time) and the client-local SID
+// counter. Keeping both per client is what lets searches on different
+// kernel shards proceed with no shared map or counter: every touch happens
+// in an event at the client, on the client's home shard.
+type expandSlot struct {
+	active  *expandSearch
+	nextSID uint64
+}
+
 // Expanding runs expanding-ring searches over a Runtime. Members must
 // Register; the searcher itself need not be a member.
 type Expanding struct {
 	rt       *Runtime
 	cfg      ExpandConfig
-	searches map[uint64]*expandSearch
-	nextSID  uint64
+	byClient []expandSlot // indexed by NodeID
 }
 
 // NewExpanding creates the protocol instance.
@@ -100,7 +109,7 @@ func NewExpanding(rt *Runtime, cfg ExpandConfig) *Expanding {
 	if cfg.Rounds <= 0 || cfg.RoundTimeout <= 0 || cfg.InitialRadiusMs <= 0 || cfg.RadiusMult <= 1 {
 		panic(fmt.Sprintf("p2p: invalid expand config %+v", cfg))
 	}
-	return &Expanding{rt: rt, cfg: cfg, searches: make(map[uint64]*expandSearch)}
+	return &Expanding{rt: rt, cfg: cfg, byClient: make([]expandSlot, rt.Population())}
 }
 
 // Register subscribes a node to the search group and installs the
@@ -121,19 +130,22 @@ func (e *Expanding) Deregister(id NodeID) { e.rt.LeaveGroup(ExpandGroup, id) }
 
 // Search runs the expanding search from client. done fires exactly once:
 // with the earliest responder, or unfound after the last round times out.
+// Must run as an event at the client (or setup code): a client's slot is
+// home-shard state.
 func (e *Expanding) Search(client NodeID, done func(ExpandResult)) {
 	n := e.rt.AddNode(client)
-	e.nextSID++
-	s := &expandSearch{sid: e.nextSID, client: client, started: e.rt.Kernel.Now(), done: done}
-	e.searches[s.sid] = s
+	slot := &e.byClient[client]
+	slot.nextSID++
+	s := &expandSearch{sid: slot.nextSID, client: client, started: e.rt.Now(client), done: done}
+	slot.active = s
 	n.Handle(MsgFound, func(n *Node, env Envelope) {
 		fm := env.Payload.(foundMsg)
-		sr, ok := e.searches[fm.SID]
-		if !ok {
+		sr := e.byClient[n.ID].active
+		if sr == nil || sr.sid != fm.SID {
 			return // already resolved; later (= farther) answers lose
 		}
-		delete(e.searches, fm.SID)
-		now := e.rt.Kernel.Now()
+		e.byClient[n.ID].active = nil
+		now := e.rt.Now(n.ID)
 		// Measure against the round that sent the find this answers — a
 		// late answer (allowed: "they still count") must not be timed
 		// against a newer round's start, which would under-report the RTT.
@@ -151,20 +163,20 @@ func (e *Expanding) Search(client NodeID, done func(ExpandResult)) {
 
 // runRound multicasts one round's scope and schedules the next.
 func (e *Expanding) runRound(s *expandSearch) {
-	if _, ok := e.searches[s.sid]; !ok {
+	if e.byClient[s.client].active != s {
 		return
 	}
 	if s.round >= e.cfg.Rounds {
-		delete(e.searches, s.sid)
-		s.done(ExpandResult{Peer: -1, Rounds: e.cfg.Rounds, Messages: s.messages, Elapsed: e.rt.Kernel.Now() - s.started, Found: false})
+		e.byClient[s.client].active = nil
+		s.done(ExpandResult{Peer: -1, Rounds: e.cfg.Rounds, Messages: s.messages, Elapsed: e.rt.Now(s.client) - s.started, Found: false})
 		return
 	}
 	radius := e.cfg.InitialRadiusMs
 	for i := 0; i < s.round; i++ {
 		radius *= e.cfg.RadiusMult
 	}
-	s.sentAt = append(s.sentAt, e.rt.Kernel.Now())
+	s.sentAt = append(s.sentAt, e.rt.Now(s.client))
 	s.messages += e.rt.Multicast(s.client, ExpandGroup, MsgFind, findMsg{SID: s.sid, From: s.client, Round: s.round}, radius)
 	s.round++
-	e.rt.Kernel.After(e.cfg.RoundTimeout, func() { e.runRound(s) })
+	e.rt.After(s.client, e.cfg.RoundTimeout, func() { e.runRound(s) })
 }

@@ -38,36 +38,38 @@ import (
 func checkRuntimeInvariants(t *testing.T, rt *Runtime, stage string) {
 	t.Helper()
 
-	// Envelope slab.
-	freeEnv := make(map[uint32]bool, len(rt.slabFree))
-	for _, slot := range rt.slabFree {
-		if int(slot) >= len(rt.slab) {
-			t.Fatalf("%s: slab free slot %d out of bounds (slab len %d)", stage, slot, len(rt.slab))
-		}
-		if freeEnv[slot] {
-			t.Fatalf("%s: slab free list holds slot %d twice", stage, slot)
-		}
-		freeEnv[slot] = true
-		if rt.slab[slot] != (Envelope{}) {
-			t.Fatalf("%s: freed slab slot %d not zeroed: %+v", stage, slot, rt.slab[slot])
-		}
-	}
-
-	// Timeout slab and its live records.
-	freeT := make(map[uint32]bool, len(rt.tFree))
-	for _, slot := range rt.tFree {
-		if int(slot) >= len(rt.tSlab) {
-			t.Fatalf("%s: timeout free slot %d out of bounds (slab len %d)", stage, slot, len(rt.tSlab))
-		}
-		if freeT[slot] {
-			t.Fatalf("%s: timeout free list holds slot %d twice", stage, slot)
-		}
-		freeT[slot] = true
-	}
+	// Per-shard envelope and timeout slabs (one shard on a serial runtime).
 	live := make(map[timeoutRec]int)
-	for slot := range rt.tSlab {
-		if !freeT[uint32(slot)] {
-			live[rt.tSlab[slot]]++
+	for si := range rt.sh {
+		sc := &rt.sh[si]
+		freeEnv := make(map[uint32]bool, len(sc.slabFree))
+		for _, slot := range sc.slabFree {
+			if int(slot) >= len(sc.slab) {
+				t.Fatalf("%s: shard %d slab free slot %d out of bounds (slab len %d)", stage, si, slot, len(sc.slab))
+			}
+			if freeEnv[slot] {
+				t.Fatalf("%s: shard %d slab free list holds slot %d twice", stage, si, slot)
+			}
+			freeEnv[slot] = true
+			if sc.slab[slot] != (Envelope{}) {
+				t.Fatalf("%s: shard %d freed slab slot %d not zeroed: %+v", stage, si, slot, sc.slab[slot])
+			}
+		}
+
+		freeT := make(map[uint32]bool, len(sc.tFree))
+		for _, slot := range sc.tFree {
+			if int(slot) >= len(sc.tSlab) {
+				t.Fatalf("%s: shard %d timeout free slot %d out of bounds (slab len %d)", stage, si, slot, len(sc.tSlab))
+			}
+			if freeT[slot] {
+				t.Fatalf("%s: shard %d timeout free list holds slot %d twice", stage, si, slot)
+			}
+			freeT[slot] = true
+		}
+		for slot := range sc.tSlab {
+			if !freeT[uint32(slot)] {
+				live[sc.tSlab[slot]]++
+			}
 		}
 	}
 	for rec, n := range live {
@@ -228,11 +230,11 @@ func TestRuntimeInvariantsUnderRandomOps(t *testing.T) {
 	// fired, every slab slot back on its free list, no inflight leftovers.
 	kernel.Run()
 	checkRuntimeInvariants(t, rt, "drained")
-	if len(rt.slabFree) != len(rt.slab) {
-		t.Fatalf("drained: %d of %d envelope slots still parked", len(rt.slab)-len(rt.slabFree), len(rt.slab))
+	if rt.InflightEnvelopes() != 0 {
+		t.Fatalf("drained: %d envelope slots still parked", rt.InflightEnvelopes())
 	}
-	if len(rt.tFree) != len(rt.tSlab) {
-		t.Fatalf("drained: %d of %d expiry slots still parked", len(rt.tSlab)-len(rt.tFree), len(rt.tSlab))
+	if rt.PendingExpiries() != 0 {
+		t.Fatalf("drained: %d expiry slots still parked", rt.PendingExpiries())
 	}
 	for _, n := range rt.nodes {
 		if n != nil && n.alive && len(n.inflight) != 0 {

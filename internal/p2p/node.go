@@ -68,7 +68,7 @@ func (n *Node) Restart() {
 // without parking anything in the inflight map (the Vivaldi gossip protocol
 // does exactly this to keep its hot path free of per-request closures).
 func (n *Node) Send(to NodeID, typ string, payload any) uint64 {
-	id := n.rt.allocMsgID()
+	id := n.rt.allocMsgIDFor(n.ID)
 	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: id, Payload: payload})
 	return id
 }
@@ -85,7 +85,7 @@ func (n *Node) Request(to NodeID, typ string, payload any, timeout time.Duration
 	if timeout <= 0 {
 		timeout = n.rt.cfg.RPCTimeout
 	}
-	id := n.rt.allocMsgID()
+	id := n.rt.allocMsgIDFor(n.ID)
 	n.inflight[id] = call{onReply: onReply, onTimeout: onTimeout}
 	n.rt.send(Envelope{Type: typ, From: n.ID, To: to, MsgID: id, Payload: payload})
 	n.rt.timeoutAt(timeout, n.ID, id)
@@ -123,7 +123,7 @@ func (n *Node) expire(msgID uint64) {
 		return // answered, or we restarted meanwhile
 	}
 	delete(n.inflight, msgID)
-	n.rt.Metrics.Timeouts++
+	n.rt.sh[n.rt.shardIdx(n.ID)].metrics.Timeouts++
 	if c.onTimeout != nil {
 		c.onTimeout()
 	}
@@ -177,13 +177,14 @@ func (n *Node) SweepPing(targets []NodeID, timeout time.Duration, done func(Ping
 // the static Network's accounting, which has no way to fail. done receives
 // (rtt, true) on a pong or (0, false) on timeout.
 func (n *Node) Ping(to NodeID, timeout time.Duration, maint bool, done func(rttMs float64, ok bool)) {
+	met := n.rt.sh[n.rt.shardIdx(n.ID)].metrics
 	if maint {
-		n.rt.Metrics.MaintProbes++
+		met.MaintProbes++
 	} else {
-		n.rt.Metrics.QueryProbes++
+		met.QueryProbes++
 	}
-	start := n.rt.Kernel.Now()
+	start := n.rt.Now(n.ID)
 	n.Request(to, MsgPing, nil, timeout,
-		func(Envelope) { done(msOf(n.rt.Kernel.Now()-start), true) },
+		func(Envelope) { done(msOf(n.rt.Now(n.ID)-start), true) },
 		func() { done(0, false) })
 }

@@ -25,18 +25,68 @@ import (
 // typed kernel event (sim.AfterHandler) carrying the slot index — no
 // closure, no boxing, no per-message allocation once the slab and the
 // event queue have grown to the workload's high-water mark.
+//
+// A runtime is either serial (New: one kernel, one shard) or sharded
+// (NewSharded: one sim.Sharded kernel, hosts partitioned across shards).
+// All hot-path state — event clock, latency matrix + RTT cache, envelope
+// and timeout slabs, metrics, multicast scratch, msg-id counter — lives
+// per shard in a shardCtx, so the zero-alloc send discipline holds within
+// each shard with no locks; a serial runtime is simply the one-shard case
+// writing its metrics straight into the public Metrics field. Cross-shard
+// sends park in per-(source, destination) mailboxes and are applied by the
+// coordinator between windows in (virtual time, source shard, per-source
+// order) — see send and drainCross.
 type Runtime struct {
-	// Kernel is the discrete-event clock all activity runs on.
+	// Kernel is the discrete-event clock all activity runs on — the only
+	// kernel of a serial runtime, shard 0's kernel (the driver shard,
+	// where setup and chain events run) of a sharded one.
 	Kernel *sim.Sim
-	// Metrics aggregates wire- and probe-level costs.
+	// Metrics aggregates wire- and probe-level costs. On a serial runtime
+	// the hot path writes here directly, as it always has; on a sharded
+	// runtime each shard accumulates privately and this field stays zero —
+	// read TotalMetrics instead.
 	Metrics Metrics
 
-	cfg       Config
-	m         latency.Matrix
-	lossSrc   *rng.Source
-	nodes     []*Node // dense: node IDs are matrix indices; nil = unregistered
-	groups    map[string]*group
-	nextMsgID uint64
+	cfg     Config
+	m       latency.Matrix // shard 0's matrix; population/bounds authority
+	lossSrc *rng.Source
+	nodes   []*Node // dense: node IDs are matrix indices; nil = unregistered
+	groups  map[string]*group
+
+	// sh is the per-shard hot-path state; length 1 for a serial runtime.
+	sh []shardCtx
+	// shardOf maps NodeID -> shard index; nil means everything on shard 0.
+	shardOf []int32
+	// shk/window are set iff the runtime is sharded.
+	shk    *sim.Sharded
+	window time.Duration
+	// cross[src*K+dst] holds envelopes and routed closures crossing shards
+	// this window; crossBuf note in drainCross.
+	cross [][]crossMsg
+
+	// obsReg/obsRec are the optional observability hooks. Both are nil by
+	// default: a runtime without observability pays one nil compare per
+	// message, and with them attached every hook is a preallocated counter
+	// or ring write — the send path stays allocation-free either way.
+	obsReg *obs.Registry
+	obsRec *obs.Recorder
+
+	// liveCount tracks the live node population for the health sampler.
+	liveCount int
+}
+
+// shardCtx is one shard's private hot-path state. Only events executing on
+// the shard (and the coordinator, between windows) touch it.
+type shardCtx struct {
+	sim *sim.Sim
+	// metrics points at Runtime.Metrics for a serial runtime and at a
+	// shard-private struct for a sharded one, so legacy serial readers and
+	// the lock-free sharded hot path share one increment site.
+	metrics *Metrics
+	// m is the shard's own matrix view. Matrices with an RTT cache are
+	// single-goroutine; each shard pricing through its own cache is what
+	// keeps the cache while shards run concurrently.
+	m latency.Matrix
 
 	// deliverH + the slab implement the zero-alloc send path.
 	deliverH sim.HandlerID
@@ -51,15 +101,20 @@ type Runtime struct {
 	// mcScratch is Multicast's reusable recipient buffer.
 	mcScratch []NodeID
 
-	// obsReg/obsRec are the optional observability hooks. Both are nil by
-	// default: a runtime without observability pays one nil compare per
-	// message, and with them attached every hook is a preallocated counter
-	// or ring write — the send path stays allocation-free either way.
-	obsReg *obs.Registry
-	obsRec *obs.Recorder
+	// nextMsgID allocates correlation IDs; idBrand (shard index in the top
+	// 16 bits, zero on shard 0) keeps them runtime-unique without a shared
+	// counter.
+	nextMsgID uint64
+	idBrand   uint64
+}
 
-	// liveCount tracks the live node population for the health sampler.
-	liveCount int
+// crossMsg is one cross-shard handoff: an envelope to deliver (fn nil) or
+// a routed closure (Handoff). at is absolute virtual time, already
+// validated against the lookahead window.
+type crossMsg struct {
+	at  time.Duration
+	env Envelope
+	fn  func()
 }
 
 // timeoutRec is one pending request expiry parked in the timeout slab.
@@ -68,8 +123,23 @@ type timeoutRec struct {
 	msgID uint64
 }
 
-// New creates a runtime over a latency matrix. The seed drives only the
-// loss model; protocol randomness comes from the protocols' own streams.
+// initShard wires one shardCtx to its kernel: per-shard handler IDs over
+// per-shard slabs. Registration order is fixed (deliver, then timeout) on
+// every shard.
+func (r *Runtime) initShard(s int, kernel *sim.Sim, m latency.Matrix, met *Metrics) {
+	sc := &r.sh[s]
+	sc.sim = kernel
+	sc.m = m
+	sc.metrics = met
+	sc.idBrand = uint64(s) << 48
+	shard := s
+	sc.deliverH = kernel.RegisterHandler(func(arg uint64) { r.deliverSlot(shard, arg) })
+	sc.timeoutH = kernel.RegisterHandler(func(arg uint64) { r.expireSlot(shard, arg) })
+}
+
+// New creates a serial runtime over a latency matrix. The seed drives only
+// the loss model; protocol randomness comes from the protocols' own
+// streams.
 func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
 	if cfg.LossProb < 0 || cfg.LossProb > 1 {
 		panic(fmt.Sprintf("p2p: loss probability %v out of [0,1]", cfg.LossProb))
@@ -84,43 +154,172 @@ func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
 		lossSrc: rng.New(seed).Split("loss"),
 		nodes:   make([]*Node, m.N()),
 		groups:  make(map[string]*group),
+		sh:      make([]shardCtx, 1),
 	}
-	r.deliverH = kernel.RegisterHandler(r.deliverSlot)
-	r.timeoutH = kernel.RegisterHandler(r.expireSlot)
+	r.initShard(0, kernel, m, &r.Metrics)
 	return r
 }
 
-// timeoutAt schedules a request expiry as a typed kernel event: the
-// (node, msgID) pair parks in the timeout slab and the slot index rides
-// the event — no closure per request.
-func (r *Runtime) timeoutAt(d time.Duration, node NodeID, msgID uint64) {
-	r.Metrics.ExpiriesScheduled++
-	var slot uint32
-	if n := len(r.tFree); n > 0 {
-		slot = r.tFree[n-1]
-		r.tFree = r.tFree[:n-1]
-		r.tSlab[slot] = timeoutRec{node: node, msgID: msgID}
-	} else {
-		r.tSlab = append(r.tSlab, timeoutRec{node: node, msgID: msgID})
-		slot = uint32(len(r.tSlab) - 1)
+// NewSharded creates a runtime over a sharded kernel: hosts are
+// partitioned across shk's shards by shardOf (a PoP-aligned assignment
+// from netmodel.Topology.ShardByPoP), each shard prices through its own
+// matrix view ms[s] (so per-shard RTT caches stay single-goroutine), and
+// shk's window must be the matching cross-partition latency floor. The
+// loss model is not supported sharded: a single loss stream cannot draw in
+// a K-invariant order, and the scale trials this kernel exists for are
+// lossless. Observability hooks (EnableObs, AttachRecorder,
+// StartHealthSampler) are likewise serial-only.
+func NewSharded(shk *sim.Sharded, ms []latency.Matrix, cfg Config, seed int64, shardOf []int32) *Runtime {
+	if cfg.LossProb != 0 {
+		panic("p2p: sharded runtime does not support the loss model")
 	}
-	r.Kernel.AfterHandler(d, r.timeoutH, uint64(slot))
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = DefaultConfig().RPCTimeout
+	}
+	k := shk.K()
+	if len(ms) != k {
+		panic(fmt.Sprintf("p2p: %d shard matrices for %d shards", len(ms), k))
+	}
+	n := ms[0].N()
+	for _, m := range ms {
+		if m.N() != n {
+			panic("p2p: shard matrices disagree on population")
+		}
+	}
+	if len(shardOf) != n {
+		panic(fmt.Sprintf("p2p: shard assignment covers %d of %d nodes", len(shardOf), n))
+	}
+	for id, s := range shardOf {
+		if s < 0 || int(s) >= k {
+			panic(fmt.Sprintf("p2p: node %d assigned to shard %d of %d", id, s, k))
+		}
+	}
+	r := &Runtime{
+		Kernel:  shk.Shard(0),
+		cfg:     cfg,
+		m:       ms[0],
+		nodes:   make([]*Node, n),
+		groups:  make(map[string]*group),
+		sh:      make([]shardCtx, k),
+		shardOf: shardOf,
+		shk:     shk,
+		window:  shk.Window(),
+		cross:   make([][]crossMsg, k*k),
+	}
+	mets := make([]Metrics, k)
+	for s := 0; s < k; s++ {
+		r.initShard(s, shk.Shard(s), ms[s], &mets[s])
+	}
+	shk.OnDrain(r.drainCross)
+	return r
+}
+
+// Sharded reports whether the runtime runs over a sharded kernel.
+func (r *Runtime) Sharded() bool { return r.shk != nil }
+
+// Shards returns the shard count (1 for a serial runtime).
+func (r *Runtime) Shards() int { return len(r.sh) }
+
+// ShardOf returns a node's home shard. Every event that touches a node's
+// protocol state executes on its home shard; that is the sharding
+// convention all protocols follow.
+func (r *Runtime) ShardOf(id NodeID) int { return r.shardIdx(id) }
+
+func (r *Runtime) shardIdx(id NodeID) int {
+	if r.shardOf == nil {
+		return 0
+	}
+	return int(r.shardOf[id])
+}
+
+// Now returns the virtual time at a node's home shard. Valid from events
+// executing on that shard (where it equals the event's own time — exactly
+// what Kernel.Now returns on a serial runtime) and from setup code before
+// the run starts.
+func (r *Runtime) Now(id NodeID) time.Duration { return r.sh[r.shardIdx(id)].sim.Now() }
+
+// After schedules fn on a node's home shard after d of that shard's
+// virtual time. It must be called from the node's home context (an event
+// executing on the same shard — every protocol callback at the node is);
+// for cross-shard routing use Handoff.
+func (r *Runtime) After(id NodeID, d time.Duration, fn func()) {
+	r.sh[r.shardIdx(id)].sim.After(d, fn)
+}
+
+// HandoffDelay is the minimum delay of a Handoff: the sharded kernel's
+// lookahead window (0 for a serial runtime). Drivers add it wherever a
+// sequential chain hops between nodes; because the delay is a topology
+// constant — never a function of the shard count — the chain's virtual
+// times are identical at every K, the determinism contract's keystone.
+func (r *Runtime) HandoffDelay() time.Duration { return r.window }
+
+// Handoff schedules fn on node to's home shard at the source shard's
+// now+d, where from is the shard the caller is executing on (a node's
+// home shard, or DriverShard for setup/chain events). On a serial runtime
+// it is Kernel.After. Sharded, d must be at least HandoffDelay — that is
+// what makes a cross-shard insert legal mid-window — and the entry joins
+// the same deterministic mailbox order as cross-shard envelopes.
+func (r *Runtime) Handoff(from int, to NodeID, d time.Duration, fn func()) {
+	sc := &r.sh[from]
+	if r.shk == nil {
+		sc.sim.After(d, fn)
+		return
+	}
+	if d < r.window {
+		panic(fmt.Sprintf("p2p: Handoff delay %v below lookahead window %v", d, r.window))
+	}
+	at := sc.sim.Now() + d
+	ds := r.shardIdx(to)
+	if ds == from {
+		sc.sim.At(at, fn)
+		return
+	}
+	r.cross[from*len(r.sh)+ds] = append(r.cross[from*len(r.sh)+ds], crossMsg{at: at, fn: fn})
+}
+
+// DriverShard is where setup and sequential-driver chain events execute:
+// shard 0. Join ramps, churn scripts and op sequencers schedule there and
+// hop to a node's home shard via Handoff.
+const DriverShard = 0
+
+// timeoutAt schedules a request expiry as a typed kernel event: the
+// (node, msgID) pair parks in the home shard's timeout slab and the slot
+// index rides the event — no closure per request. Expiries are always
+// shard-local: the request was issued by an event at the node.
+func (r *Runtime) timeoutAt(d time.Duration, node NodeID, msgID uint64) {
+	sc := &r.sh[r.shardIdx(node)]
+	sc.metrics.ExpiriesScheduled++
+	var slot uint32
+	if n := len(sc.tFree); n > 0 {
+		slot = sc.tFree[n-1]
+		sc.tFree = sc.tFree[:n-1]
+		sc.tSlab[slot] = timeoutRec{node: node, msgID: msgID}
+	} else {
+		sc.tSlab = append(sc.tSlab, timeoutRec{node: node, msgID: msgID})
+		slot = uint32(len(sc.tSlab) - 1)
+	}
+	sc.sim.AfterHandler(d, sc.timeoutH, uint64(slot))
 }
 
 // expireSlot is the registered handler completing a timeout: the node
 // decides whether the request is still outstanding (a response that
 // arrived first deleted the inflight entry and wins the race).
-func (r *Runtime) expireSlot(arg uint64) {
-	r.Metrics.ExpiriesFired++
-	rec := r.tSlab[arg]
-	r.tFree = append(r.tFree, uint32(arg))
+func (r *Runtime) expireSlot(shard int, arg uint64) {
+	sc := &r.sh[shard]
+	sc.metrics.ExpiriesFired++
+	rec := sc.tSlab[arg]
+	sc.tFree = append(sc.tFree, uint32(arg))
 	if n := r.node(rec.node); n != nil {
 		n.expire(rec.msgID)
 	}
 }
 
-// RTTms returns the true link RTT between two nodes in milliseconds.
-func (r *Runtime) RTTms(a, b NodeID) float64 { return r.m.LatencyMs(int(a), int(b)) }
+// RTTms returns the true link RTT between two nodes in milliseconds,
+// priced through the first node's home-shard matrix (all shard matrices
+// price identically; the home cache is the one the calling event owns).
+func (r *Runtime) RTTms(a, b NodeID) float64 {
+	return r.sh[r.shardIdx(a)].m.LatencyMs(int(a), int(b))
+}
 
 // Population returns the matrix population: node IDs live in [0, Population).
 // Protocol packages outside p2p size their dense per-node state with it.
@@ -355,33 +554,59 @@ func (r *Runtime) Multicast(from NodeID, gname, typ string, payload any, radiusM
 	if g == nil {
 		return 0
 	}
-	r.mcScratch = r.mcScratch[:0]
-	if idx := g.senderIdx(r, from); idx != nil {
-		r.mcScratch = append(r.mcScratch, idx.ids[:idx.prefixLen(radiusMs)]...)
-		slices.Sort(r.mcScratch)
+	sc := &r.sh[r.shardIdx(from)]
+	// Sharded, the lazy index build would write the shared senders map from
+	// a worker goroutine; senders the driver pre-warmed (WarmSenderIndex)
+	// are read-only lookups, anyone else takes the linear scan.
+	var idx *senderIndex
+	if r.shk == nil {
+		idx = g.senderIdx(r, from)
+	} else {
+		idx = g.senders[from]
+	}
+	sc.mcScratch = sc.mcScratch[:0]
+	if idx != nil {
+		sc.mcScratch = append(sc.mcScratch, idx.ids[:idx.prefixLen(radiusMs)]...)
+		slices.Sort(sc.mcScratch)
 	} else {
 		for _, m := range g.members {
 			if r.RTTms(from, m) <= radiusMs {
-				r.mcScratch = append(r.mcScratch, m)
+				sc.mcScratch = append(sc.mcScratch, m)
 			}
 		}
 	}
 	sent := 0
-	for _, m := range r.mcScratch {
+	for _, m := range sc.mcScratch {
 		if m == from || !r.Alive(m) {
 			continue
 		}
-		r.send(Envelope{Type: typ, From: from, To: m, MsgID: r.allocMsgID(), Payload: payload})
+		r.send(Envelope{Type: typ, From: from, To: m, MsgID: r.allocMsgIDFor(from), Payload: payload})
 		sent++
 	}
-	r.Metrics.MsgsMulticast += int64(sent)
+	sc.metrics.MsgsMulticast += int64(sent)
 	return sent
+}
+
+// WarmSenderIndex builds a sender's latency index over a group ahead of the
+// run. Sharded drivers call it at setup for every node that will multicast:
+// the build mutates shared group state, which only the single-threaded setup
+// phase may do.
+func (r *Runtime) WarmSenderIndex(gname string, from NodeID) {
+	if g := r.groups[gname]; g != nil {
+		g.senderIdx(r, from)
+	}
 }
 
 // EnableObs attaches a metrics registry. Every send and delivery from now
 // on is noted in it; pass nil to detach. Attaching a registry never
 // perturbs the simulation — it draws no randomness and schedules no events.
-func (r *Runtime) EnableObs(reg *obs.Registry) { r.obsReg = reg }
+// Serial-only: the registry's counters are not sharded.
+func (r *Runtime) EnableObs(reg *obs.Registry) {
+	if r.shk != nil && reg != nil {
+		panic("p2p: observability registry is serial-only")
+	}
+	r.obsReg = reg
+}
 
 // Obs returns the attached metrics registry, or nil.
 func (r *Runtime) Obs() *obs.Registry { return r.obsReg }
@@ -389,7 +614,13 @@ func (r *Runtime) Obs() *obs.Registry { return r.obsReg }
 // AttachRecorder attaches a lookup flight recorder. The scheme wires
 // (chord, Meridian, the Vivaldi wire) record per-hop traces into it; pass
 // nil to detach. Like the registry, a recorder is purely passive.
-func (r *Runtime) AttachRecorder(rec *obs.Recorder) { r.obsRec = rec }
+// Serial-only: the recorder's ring is a single-writer structure.
+func (r *Runtime) AttachRecorder(rec *obs.Recorder) {
+	if r.shk != nil && rec != nil {
+		panic("p2p: flight recorder is serial-only")
+	}
+	r.obsRec = rec
+}
 
 // FlightRecorder returns the attached flight recorder, or nil.
 func (r *Runtime) FlightRecorder() *obs.Recorder { return r.obsRec }
@@ -398,13 +629,58 @@ func (r *Runtime) FlightRecorder() *obs.Recorder { return r.obsRec }
 func (r *Runtime) LiveNodes() int { return r.liveCount }
 
 // InflightEnvelopes returns the number of envelopes currently in flight
-// (occupied send-slab slots) — the inflight term of the accounting identity
+// (occupied send-slab slots plus parked cross-shard envelopes) — the
+// inflight term of the accounting identity
 // MsgsSent == MsgsDelivered + MsgsLost + MsgsDead + inflight.
-func (r *Runtime) InflightEnvelopes() int { return len(r.slab) - len(r.slabFree) }
+func (r *Runtime) InflightEnvelopes() int {
+	n := 0
+	for i := range r.sh {
+		n += len(r.sh[i].slab) - len(r.sh[i].slabFree)
+	}
+	for _, box := range r.cross {
+		for i := range box {
+			if box[i].fn == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // PendingExpiries returns the number of request-expiry events still parked
-// in the timeout slab (ExpiriesScheduled - ExpiriesFired).
-func (r *Runtime) PendingExpiries() int { return len(r.tSlab) - len(r.tFree) }
+// in the timeout slabs (ExpiriesScheduled - ExpiriesFired).
+func (r *Runtime) PendingExpiries() int {
+	n := 0
+	for i := range r.sh {
+		n += len(r.sh[i].tSlab) - len(r.sh[i].tFree)
+	}
+	return n
+}
+
+// TotalMetrics sums the per-shard metrics. On a serial runtime it equals
+// the Metrics field; figure code reads this so serial and sharded cells
+// render through one accessor.
+func (r *Runtime) TotalMetrics() Metrics {
+	var t Metrics
+	for i := range r.sh {
+		m := r.sh[i].metrics
+		t.MsgsSent += m.MsgsSent
+		t.MsgsDelivered += m.MsgsDelivered
+		t.MsgsLost += m.MsgsLost
+		t.MsgsDead += m.MsgsDead
+		t.MsgsMulticast += m.MsgsMulticast
+		t.QueryProbes += m.QueryProbes
+		t.MaintProbes += m.MaintProbes
+		t.ExpiriesScheduled += m.ExpiriesScheduled
+		t.ExpiriesFired += m.ExpiriesFired
+		t.Timeouts += m.Timeouts
+	}
+	return t
+}
+
+// ShardMetrics returns shard s's private metrics — the increment target for
+// protocol counters charged to a node (use with ShardOf).
+func (r *Runtime) ShardMetrics(s int) *Metrics { return r.sh[s].metrics }
 
 // StartHealthSampler starts a periodic obs.Sampler over this runtime's
 // health: inflight envelope depth, kernel event-queue depth, and live
@@ -412,7 +688,11 @@ func (r *Runtime) PendingExpiries() int { return len(r.tSlab) - len(r.tFree) }
 // sampler is already started. Note the sampler's self-rescheduling tick
 // keeps the kernel queue non-empty until horizon, so drain-style Run()
 // loops only terminate once the horizon passes (or the kernel is stopped).
+// Serial-only: the sampler ticks on one kernel and reads cross-shard state.
 func (r *Runtime) StartHealthSampler(every, horizon time.Duration, capacity int) *obs.Sampler {
+	if r.shk != nil {
+		panic("p2p: health sampler is serial-only")
+	}
 	s := obs.NewSampler(r.Kernel, every, horizon, capacity, func() (int, int, int) {
 		return r.InflightEnvelopes(), r.Kernel.Pending(), r.liveCount
 	})
@@ -420,38 +700,45 @@ func (r *Runtime) StartHealthSampler(every, horizon time.Duration, capacity int)
 	return s
 }
 
-// allocMsgID hands out runtime-unique correlation IDs.
-func (r *Runtime) allocMsgID() uint64 {
-	r.nextMsgID++
-	return r.nextMsgID
+// allocMsgIDFor hands out runtime-unique correlation IDs from the node's
+// home-shard counter; the shard brand in the top bits keeps IDs unique
+// without a shared counter (and leaves serial IDs — shard 0 — unchanged).
+func (r *Runtime) allocMsgIDFor(id NodeID) uint64 {
+	sc := &r.sh[r.shardIdx(id)]
+	sc.nextMsgID++
+	return sc.idBrand | sc.nextMsgID
 }
 
-// slabPut parks an in-flight envelope and returns its slot.
-func (r *Runtime) slabPut(env Envelope) uint32 {
-	if n := len(r.slabFree); n > 0 {
-		slot := r.slabFree[n-1]
-		r.slabFree = r.slabFree[:n-1]
-		r.slab[slot] = env
+// slabPut parks an in-flight envelope in a shard's slab and returns its slot.
+func (r *Runtime) slabPut(shard int, env Envelope) uint32 {
+	sc := &r.sh[shard]
+	if n := len(sc.slabFree); n > 0 {
+		slot := sc.slabFree[n-1]
+		sc.slabFree = sc.slabFree[:n-1]
+		sc.slab[slot] = env
 		return slot
 	}
-	r.slab = append(r.slab, env)
-	return uint32(len(r.slab) - 1)
+	sc.slab = append(sc.slab, env)
+	return uint32(len(sc.slab) - 1)
 }
 
 // deliverSlot is the registered kernel handler completing a send: it
 // frees the slot first (handlers may send again, reusing it) and then
-// dispatches to the destination's inbox.
-func (r *Runtime) deliverSlot(arg uint64) {
+// dispatches to the destination's inbox. It runs on the destination's home
+// shard — its slab parked the envelope, whether the send was local or
+// crossed shards at a drain.
+func (r *Runtime) deliverSlot(shard int, arg uint64) {
+	sc := &r.sh[shard]
 	slot := uint32(arg)
-	env := r.slab[slot]
-	r.slab[slot] = Envelope{} // release the payload for GC
-	r.slabFree = append(r.slabFree, slot)
+	env := sc.slab[slot]
+	sc.slab[slot] = Envelope{} // release the payload for GC
+	sc.slabFree = append(sc.slabFree, slot)
 	dst := r.node(env.To)
 	if dst == nil || !dst.alive {
-		r.Metrics.MsgsDead++
+		sc.metrics.MsgsDead++
 		return
 	}
-	r.Metrics.MsgsDelivered++
+	sc.metrics.MsgsDelivered++
 	if r.obsReg != nil {
 		r.obsReg.NoteRecv(int(env.To))
 	}
@@ -469,19 +756,66 @@ func (r *Runtime) deliverSlot(arg uint64) {
 // durOf(rtt/2) would truncate each leg independently and make a measured
 // round trip fall short of the matrix entry by a nanosecond on odd-valued
 // latencies.
+//
+// The sender's shard prices the link and pays for the send; a destination
+// on the same shard gets its delivery scheduled directly into the shard
+// kernel (the serial path, verbatim), a destination on another shard parks
+// in the (src, dst) mailbox for the coordinator to apply between windows.
+// Cross-shard pairs are cross-PoP by construction (ShardByPoP), so the
+// one-way delay is at least the lookahead window — asserted here, the
+// load-bearing inequality of the whole design.
 func (r *Runtime) send(env Envelope) {
-	r.Metrics.MsgsSent++
+	ss := r.shardIdx(env.From)
+	sc := &r.sh[ss]
+	sc.metrics.MsgsSent++
 	if r.obsReg != nil {
 		r.obsReg.NoteSend(int(env.From), env.Type)
 	}
 	if r.cfg.LossProb > 0 && r.lossSrc.Bool(r.cfg.LossProb) {
-		r.Metrics.MsgsLost++
+		sc.metrics.MsgsLost++
 		return
 	}
-	rtt := durOf(r.RTTms(env.From, env.To))
+	rtt := durOf(sc.m.LatencyMs(int(env.From), int(env.To)))
 	oneWay := rtt / 2
 	if env.Resp {
 		oneWay = rtt - rtt/2
 	}
-	r.Kernel.AfterHandler(oneWay, r.deliverH, uint64(r.slabPut(env)))
+	ds := r.shardIdx(env.To)
+	if ds == ss {
+		sc.sim.AfterHandler(oneWay, sc.deliverH, uint64(r.slabPut(ss, env)))
+		return
+	}
+	at := sc.sim.Now() + oneWay
+	if end := r.shk.WindowEnd(); end > 0 && at < end {
+		panic(fmt.Sprintf("p2p: cross-shard delivery at %v violates lookahead window ending %v (one-way %v < window %v)",
+			at, end, oneWay, r.window))
+	}
+	r.cross[ss*len(r.sh)+ds] = append(r.cross[ss*len(r.sh)+ds], crossMsg{at: at, env: env})
+}
+
+// drainCross is the sharded kernel's between-windows hook: it moves every
+// parked cross-shard message into its destination shard — envelopes into
+// the destination slab with a typed delivery event, routed closures as
+// plain events. Iterating destinations then sources in index order makes
+// the destination heap's (at, insertion-seq) tie-break exactly the
+// (virtual time, source shard, per-source order) sequence the determinism
+// contract specifies, with no sorting.
+func (r *Runtime) drainCross() {
+	k := len(r.sh)
+	for dst := 0; dst < k; dst++ {
+		dsc := &r.sh[dst]
+		for src := 0; src < k; src++ {
+			box := r.cross[src*k+dst]
+			for i := range box {
+				if box[i].fn != nil {
+					dsc.sim.At(box[i].at, box[i].fn)
+					box[i].fn = nil
+				} else {
+					dsc.sim.AtHandler(box[i].at, dsc.deliverH, uint64(r.slabPut(dst, box[i].env)))
+					box[i].env = Envelope{} // release for GC; capacity is reused
+				}
+			}
+			r.cross[src*k+dst] = box[:0]
+		}
+	}
 }

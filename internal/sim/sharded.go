@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the sharded kernel: K independent Sim instances (one event
+// heap, clock and handler table each) executed in time-windowed lock-step.
+//
+// The correctness argument is conservative parallel discrete-event
+// simulation with a global lookahead: callers partition their model state
+// (hosts, in the p2p runtime) across shards and guarantee that any event
+// one shard schedules onto another is at least `window` of virtual time in
+// the future — in the p2p runtime the window is the topology's minimum
+// cross-partition one-way latency, so a message sent at time t inside the
+// window [T, T+W) is delivered at t+oneWay >= T+W, never inside the window
+// being executed. Shards can therefore run a window concurrently without
+// ever seeing an event another shard is still about to create.
+//
+// Determinism contract (the same one internal/engine makes for -workers):
+// results are byte-identical at any shard count. Cross-shard events are
+// never applied in goroutine-arrival order; they park in per-(source,
+// destination) mailboxes during the window and are drained between windows
+// by the coordinator alone, ordered by (virtual time, source shard,
+// per-source sequence). Window boundaries themselves are a pure function
+// of the event set (next window starts at the globally earliest pending
+// event), so the boundary sequence — and with it the executed-event set —
+// does not depend on K.
+type Sharded struct {
+	shards []*Sim
+	window time.Duration
+
+	// mail[src*K+dst] is the closure mailbox src fills during a window for
+	// dst; only src's worker writes it, only the coordinator (between
+	// windows) reads it. Higher layers with typed payloads (the p2p
+	// runtime's envelope handoff) keep their own mailboxes and drain them
+	// from the onDrain hook under the same ordering rules.
+	mail    [][]crossEntry
+	onDrain func()
+
+	// windowEnd is the exclusive end of the window being executed, 0 when
+	// no window is in flight. Defer validates lookahead against it.
+	windowEnd atomic.Int64
+	// stopAt is the dynamic deadline: no new window starts after it.
+	// Events lower it via StopAt (the wire studies stop when their last
+	// operation completes, a virtual time no one knows in advance).
+	stopAt atomic.Int64
+
+	// workers are lazily started on the first multi-shard window and joined
+	// when the run returns, so an idle sharded kernel holds no goroutines.
+	cmd  []chan time.Duration
+	done chan shardDone
+}
+
+type crossEntry struct {
+	at time.Duration
+	fn func()
+}
+
+type shardDone struct {
+	shard int
+	panic any
+}
+
+// maxDeadline is the Run() deadline: effectively "drain everything".
+const maxDeadline = time.Duration(1) << 62
+
+// NewSharded builds a sharded kernel with k shards and the given lookahead
+// window. The window must be positive: it is the amount of virtual time a
+// cross-shard event must at minimum be scheduled into the future, and the
+// caller derives it from its model (netmodel.Topology.MinCrossPoPOneWayMs
+// for the p2p runtime). k == 1 is valid and runs the same windowed loop
+// with no worker goroutines — the determinism baseline the multi-shard
+// counts are compared against.
+func NewSharded(k int, window time.Duration) *Sharded {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards", k))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: NewSharded with non-positive window %v", window))
+	}
+	p := &Sharded{
+		shards: make([]*Sim, k),
+		window: window,
+		mail:   make([][]crossEntry, k*k),
+	}
+	for i := range p.shards {
+		p.shards[i] = New()
+	}
+	return p
+}
+
+// K returns the shard count.
+func (p *Sharded) K() int { return len(p.shards) }
+
+// Window returns the lookahead window.
+func (p *Sharded) Window() time.Duration { return p.window }
+
+// Shard returns shard i's kernel. Before the run starts the caller may
+// schedule setup events on any shard directly; during the run a shard's
+// kernel must only be touched by events executing on that shard.
+func (p *Sharded) Shard(i int) *Sim { return p.shards[i] }
+
+// OnDrain registers a hook the coordinator calls between windows, after
+// the built-in closure mailboxes are drained. The p2p runtime drains its
+// envelope mailboxes here. The hook runs with no window in flight, so it
+// may schedule onto any shard (at or after the next window's events).
+func (p *Sharded) OnDrain(fn func()) { p.onDrain = fn }
+
+// Defer parks a closure event for another shard: it is applied to dst's
+// queue at the next window boundary, ordered by (at, src, call order
+// within src). at must respect the lookahead window — at or after the end
+// of the window currently executing — which holds by construction when at
+// is the current event's time plus at least Window.
+func (p *Sharded) Defer(src, dst int, at time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Defer(nil)")
+	}
+	if end := time.Duration(p.windowEnd.Load()); end > 0 && at < end {
+		panic(fmt.Sprintf("sim: Defer at %v violates lookahead window ending %v", at, end))
+	}
+	k := len(p.shards)
+	p.mail[src*k+dst] = append(p.mail[src*k+dst], crossEntry{at: at, fn: fn})
+}
+
+// WindowEnd returns the exclusive end of the window currently executing,
+// or 0 between windows. Layered mailboxes (the p2p runtime) use it for
+// the same lookahead validation Defer performs.
+func (p *Sharded) WindowEnd() time.Duration {
+	return time.Duration(p.windowEnd.Load())
+}
+
+// StopAt lowers the run's dynamic deadline to t: windows that would start
+// after t do not start, and the run returns once no pending event is at or
+// before t. Unlike Sim.Stop, the cut is expressed in virtual time — the
+// only coordinate that is identical at every shard count — so the executed
+// event set stays byte-deterministic. Events already inside the final
+// windows still execute (a window, once begun, always runs to its end);
+// callers that must not observe those events gate on their own state, the
+// way the sequential-op drivers check their `fired` flags.
+func (p *Sharded) StopAt(t time.Duration) {
+	for {
+		cur := p.stopAt.Load()
+		if int64(t) >= cur {
+			return
+		}
+		if p.stopAt.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// Run executes windows until every shard's queue drains (or StopAt cuts
+// the run). It returns the largest shard clock reached.
+func (p *Sharded) Run() time.Duration {
+	return p.RunUntil(maxDeadline)
+}
+
+// RunUntil executes events with time <= deadline, exactly as Sim.RunUntil
+// does on a single kernel: events beyond the deadline stay queued, and
+// every shard's clock ends at the deadline (or at the StopAt cut) even if
+// its queue drained earlier. The executed set is {events with at <=
+// deadline} plus — when StopAt fires — the tail of the final windows; both
+// are pure functions of virtual time and the event set, never of K.
+func (p *Sharded) RunUntil(deadline time.Duration) time.Duration {
+	p.stopAt.Store(int64(maxDeadline))
+	defer p.stopWorkers()
+	for {
+		p.drainAll()
+		t0, ok := p.head()
+		if !ok || t0 > deadline || int64(t0) > p.stopAt.Load() {
+			break
+		}
+		end := t0 + p.window
+		bound := end - 1
+		if bound > deadline {
+			// The horizon clips what the window executes, never the
+			// window's extent: lookahead validation still uses `end`.
+			bound = deadline
+		}
+		p.runWindow(end, bound)
+	}
+	// Final clock advance, mirroring Sim.RunUntil's idle-drain semantics.
+	final := deadline
+	if s := time.Duration(p.stopAt.Load()); s < final {
+		final = s
+	}
+	var maxNow time.Duration
+	for _, s := range p.shards {
+		if s.now < final {
+			s.now = final
+		}
+		if s.now > maxNow {
+			maxNow = s.now
+		}
+	}
+	return maxNow
+}
+
+// head returns the earliest pending event time across shards.
+func (p *Sharded) head() (time.Duration, bool) {
+	var t0 time.Duration
+	ok := false
+	for _, s := range p.shards {
+		if h, has := s.Head(); has && (!ok || h < t0) {
+			t0, ok = h, true
+		}
+	}
+	return t0, ok
+}
+
+// runWindow executes one window: every shard with a pending event before
+// `end` runs RunUntil(bound) — concurrently when more than one shard is
+// active, inline on the coordinator when one is (the common case during
+// driver-sequential phases, where a barrier would buy nothing).
+func (p *Sharded) runWindow(end, bound time.Duration) {
+	p.windowEnd.Store(int64(end))
+	active := 0
+	var only *Sim
+	for _, s := range p.shards {
+		if h, has := s.Head(); has && h < end {
+			active++
+			only = s
+		}
+	}
+	if active <= 1 {
+		if only != nil {
+			only.RunUntil(bound)
+		}
+		p.windowEnd.Store(0)
+		return
+	}
+	p.startWorkers()
+	launched := 0
+	for i, s := range p.shards {
+		if h, has := s.Head(); has && h < end {
+			p.cmd[i] <- bound
+			launched++
+		}
+	}
+	var firstPanic any
+	firstShard := -1
+	for n := 0; n < launched; n++ {
+		d := <-p.done
+		if d.panic != nil && (firstShard < 0 || d.shard < firstShard) {
+			firstPanic, firstShard = d.panic, d.shard
+		}
+	}
+	p.windowEnd.Store(0)
+	if firstPanic != nil {
+		// Re-raise the lowest shard's panic on the coordinator, so a
+		// failing event cannot die silently on a worker goroutine.
+		panic(firstPanic)
+	}
+}
+
+// startWorkers launches the per-shard worker goroutines on first use.
+func (p *Sharded) startWorkers() {
+	if p.cmd != nil {
+		return
+	}
+	p.cmd = make([]chan time.Duration, len(p.shards))
+	p.done = make(chan shardDone, len(p.shards))
+	for i := range p.shards {
+		p.cmd[i] = make(chan time.Duration)
+		go func(i int, s *Sim) {
+			for bound := range p.cmd[i] {
+				func() {
+					defer func() {
+						p.done <- shardDone{shard: i, panic: recover()}
+					}()
+					s.RunUntil(bound)
+				}()
+			}
+		}(i, p.shards[i])
+	}
+}
+
+// stopWorkers joins the worker goroutines (if any were started) so a
+// finished run holds no goroutines — engine trials build thousands of
+// kernels per process.
+func (p *Sharded) stopWorkers() {
+	if p.cmd == nil {
+		return
+	}
+	for _, c := range p.cmd {
+		close(c)
+	}
+	p.cmd, p.done = nil, nil
+}
+
+// drainAll moves every parked cross-shard event into its destination
+// queue: first the built-in closure mailboxes, then the layered hook.
+// Runs on the coordinator only, between windows — the single-threaded
+// moment that turns goroutine-arrival nondeterminism back into the
+// deterministic (at, source shard, per-source seq) order. No sorting is
+// needed to get it: each destination's event heap already orders by
+// (at, insertion seq), so inserting mailbox entries in (src, call order)
+// sequence makes the heap's tie-break exactly the source order.
+func (p *Sharded) drainAll() {
+	k := len(p.shards)
+	for dst := 0; dst < k; dst++ {
+		for src := 0; src < k; src++ {
+			box := p.mail[src*k+dst]
+			for i := range box {
+				p.shards[dst].At(box[i].at, box[i].fn)
+				box[i].fn = nil // release for GC; capacity is reused
+			}
+			p.mail[src*k+dst] = box[:0]
+		}
+	}
+	if p.onDrain != nil {
+		p.onDrain()
+	}
+}
+
+// Executed sums executed events across shards — the figure-visible cost
+// metric; a pure function of the executed set, so identical at any K.
+func (p *Sharded) Executed() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.Executed
+	}
+	return n
+}
+
+// Pending sums queued events across shards.
+func (p *Sharded) Pending() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.Pending()
+	}
+	return n
+}
+
+// QueueHighWater sums the per-shard queue high-water marks: an upper bound
+// on the global peak (shards rarely peak in the same window), reported as
+// the aggregate kernel-health stat where a single kernel would report its
+// own mark.
+func (p *Sharded) QueueHighWater() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.QueueHighWater()
+	}
+	return n
+}

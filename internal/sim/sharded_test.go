@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The sharded kernel's contract has three legs: windowed execution respects
+// the lookahead (no shard ever sees an event another shard is still about
+// to create), cross-shard events drain in (virtual time, source shard,
+// per-source sequence) order regardless of goroutine scheduling, and the
+// executed event set is a pure function of the event set and the window —
+// never of the shard count. The tests below pin each leg; the stress test
+// exists to run under -race, where the barrier and mailbox handoffs must
+// show a clean happens-before story.
+
+// shardedHostModel runs a fixed message-passing model over H logical hosts
+// partitioned contiguously across k shards, and returns each host's event
+// log. Every send — same-shard or cross — is delayed by at least the window
+// plus a per-edge epsilon that makes all arrival times at a host distinct,
+// so the log contents and order are independent of heap insertion order and
+// therefore must be byte-identical at every k.
+func shardedHostModel(t *testing.T, k int) [][]string {
+	t.Helper()
+	const (
+		hosts  = 12
+		window = time.Millisecond
+		ttl0   = 40
+	)
+	p := NewSharded(k, window)
+	shardOf := func(h int) int { return h * k / hosts }
+	logs := make([][]string, hosts)
+
+	var arrive func(h, from, ttl int)
+	send := func(src, h, from, ttl int, at time.Duration) {
+		dst := shardOf(h)
+		fn := func() { arrive(h, from, ttl) }
+		if dst == src {
+			p.Shard(dst).At(at, fn)
+		} else {
+			p.Defer(src, dst, at, fn)
+		}
+	}
+	arrive = func(h, from, ttl int) {
+		now := p.Shard(shardOf(h)).Now()
+		logs[h] = append(logs[h], fmt.Sprintf("%v from %d", now, from))
+		if ttl <= 0 {
+			return
+		}
+		next := (h + 1) % hosts
+		if ttl%2 == 0 {
+			next = (h*5 + 3) % hosts
+		}
+		// Delay >= window for every pair keeps any partition legal; the
+		// sender-dependent epsilon makes arrival times at a host unique.
+		d := window + time.Duration(ttl%5)*window/4 + time.Duration(h+1)*time.Nanosecond
+		send(shardOf(h), next, h, ttl-1, now+d)
+	}
+	for h := 0; h < hosts; h++ {
+		h := h
+		p.Shard(shardOf(h)).At(time.Duration(h+1)*time.Microsecond, func() { arrive(h, h, ttl0) })
+	}
+	p.Run()
+	return logs
+}
+
+// TestShardedDeterministicAcrossK pins the headline contract: the same
+// model produces identical per-host event logs at k = 1, 2, 3, 4.
+func TestShardedDeterministicAcrossK(t *testing.T) {
+	base := shardedHostModel(t, 1)
+	for _, k := range []int{2, 3, 4} {
+		got := shardedHostModel(t, k)
+		for h := range base {
+			if len(got[h]) != len(base[h]) {
+				t.Fatalf("k=%d host %d saw %d events, k=1 saw %d", k, h, len(got[h]), len(base[h]))
+			}
+			for i := range base[h] {
+				if got[h][i] != base[h][i] {
+					t.Fatalf("k=%d host %d event %d = %q, k=1 = %q", k, h, i, got[h][i], base[h][i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedExecutedInvariantAcrossK checks the aggregate cost metric the
+// figures print is k-invariant too.
+func TestShardedExecutedInvariantAcrossK(t *testing.T) {
+	run := func(k int) uint64 {
+		p := NewSharded(k, time.Millisecond)
+		for s := 0; s < k; s++ {
+			s := s
+			var chain func()
+			chain = func() {
+				if p.Shard(s).Now() < 20*time.Millisecond {
+					p.Shard(s).After(100*time.Microsecond, chain)
+				}
+			}
+			p.Shard(s).At(0, chain)
+		}
+		p.Run()
+		return p.Executed()
+	}
+	// Executed scales with the number of chains (one per shard), so compare
+	// per-chain counts.
+	if a, b := run(1), run(4); a*4 != b {
+		t.Fatalf("per-chain executed differs: k=1 ran %d, k=4 ran %d (want 4x)", a, b)
+	}
+}
+
+// TestShardedStopAtCutsInVirtualTime checks StopAt stops the run at a
+// virtual-time coordinate: events in windows past the cut never execute.
+func TestShardedStopAtCutsInVirtualTime(t *testing.T) {
+	p := NewSharded(2, time.Millisecond)
+	var ran []time.Duration
+	for i := 0; i <= 10; i++ {
+		at := time.Duration(i) * time.Millisecond
+		p.Shard(0).At(at, func() {
+			ran = append(ran, at)
+			if at == 3*time.Millisecond {
+				p.StopAt(at)
+			}
+		})
+	}
+	end := p.Run()
+	// The final window [3ms, 4ms) runs to its bound; the cut stops windows
+	// after it from starting, so the run ends inside that window.
+	if end < 3*time.Millisecond || end >= 4*time.Millisecond {
+		t.Fatalf("run ended at %v, want inside the StopAt window [3ms, 4ms)", end)
+	}
+	if len(ran) != 4 || ran[len(ran)-1] != 3*time.Millisecond {
+		t.Fatalf("executed %v, want exactly the events at 0..3ms", ran)
+	}
+	if p.Pending() != 7 {
+		t.Fatalf("%d events pending after the cut, want 7", p.Pending())
+	}
+}
+
+// TestShardedDeferLookaheadPanics checks the window invariant is enforced:
+// a cross-shard event scheduled inside the executing window is a model bug
+// and must panic rather than silently corrupt determinism.
+func TestShardedDeferLookaheadPanics(t *testing.T) {
+	p := NewSharded(2, 5*time.Millisecond)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Defer inside the lookahead window did not panic")
+		}
+	}()
+	p.Shard(0).At(0, func() {
+		p.Defer(0, 1, 2*time.Millisecond, func() {}) // window end is 5ms
+	})
+	p.Run()
+}
+
+// TestShardedRunUntilClipsLikeSim checks the horizon semantics match the
+// serial kernel's: events past the deadline stay queued, clocks land on it.
+func TestShardedRunUntilClipsLikeSim(t *testing.T) {
+	p := NewSharded(2, time.Millisecond)
+	ran := 0
+	p.Shard(0).At(2*time.Millisecond, func() { ran++ })
+	p.Shard(1).At(7*time.Millisecond, func() { ran++ })
+	if end := p.RunUntil(5 * time.Millisecond); end != 5*time.Millisecond {
+		t.Fatalf("clock ended at %v, want the 5ms deadline", end)
+	}
+	if ran != 1 || p.Pending() != 1 {
+		t.Fatalf("ran %d pending %d, want 1 and 1", ran, p.Pending())
+	}
+	if now := p.Shard(1).Now(); now != 5*time.Millisecond {
+		t.Fatalf("idle shard clock %v, want the deadline", now)
+	}
+}
+
+// TestShardedBarrierStress keeps every shard active in every window with
+// dense cross-shard traffic, so the worker barrier and the mailbox handoff
+// run thousands of times. Its real assertions are made by -race (the CI
+// shard smoke runs this package with the detector on); the in-test checks
+// just confirm the model actually exercised the concurrent path.
+func TestShardedBarrierStress(t *testing.T) {
+	const (
+		k      = 4
+		window = 100 * time.Microsecond
+		horiz  = 50 * time.Millisecond
+	)
+	p := NewSharded(k, window)
+	crossed := make([]int, k)
+	for s := 0; s < k; s++ {
+		s := s
+		n := 0
+		var chain func()
+		chain = func() {
+			now := p.Shard(s).Now()
+			if now >= horiz {
+				return
+			}
+			n++
+			if n%3 == 0 {
+				dst := (s + 1 + n%(k-1)) % k
+				p.Defer(s, dst, now+window+time.Duration(s)*time.Nanosecond, func() { crossed[dst]++ })
+			}
+			// Half the window keeps every shard's heap non-empty at every
+			// boundary: all k shards are active in every window.
+			p.Shard(s).After(window/2, chain)
+		}
+		p.Shard(s).At(0, chain)
+	}
+	p.Run()
+	for s, c := range crossed {
+		if c == 0 {
+			t.Fatalf("shard %d received no cross-shard events; stress model broken", s)
+		}
+	}
+	if p.Executed() < uint64(k)*uint64(horiz/(window/2))/2 {
+		t.Fatalf("only %d events executed; stress model broken", p.Executed())
+	}
+}

@@ -206,19 +206,27 @@ func (s *Sim) AfterHandler(d time.Duration, h HandlerID, arg uint64) {
 // Stop makes Run return after the current event completes.
 func (s *Sim) Stop() { s.stopped = true }
 
+// step pops the queue head, advances the clock to it and dispatches it —
+// the one event-dispatch body Run and RunUntil share. Kept trivially
+// inlinable: the closure/typed-event discriminator and the handler unpack
+// live here and nowhere else.
+func (s *Sim) step() {
+	e := s.queue.pop()
+	s.now = e.at
+	s.Executed++
+	if e.fn != nil {
+		e.fn()
+	} else {
+		s.handlers[e.hw>>48](e.hw & MaxHandlerArg)
+	}
+}
+
 // Run executes events until the queue drains or Stop is called. It returns
 // the virtual time of the last executed event.
 func (s *Sim) Run() time.Duration {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
-		e := s.queue.pop()
-		s.now = e.at
-		s.Executed++
-		if e.fn != nil {
-			e.fn()
-		} else {
-			s.handlers[e.hw>>48](e.hw & MaxHandlerArg)
-		}
+		s.step()
 	}
 	return s.now
 }
@@ -231,18 +239,21 @@ func (s *Sim) RunUntil(deadline time.Duration) {
 		if s.queue[0].at > deadline {
 			break
 		}
-		e := s.queue.pop()
-		s.now = e.at
-		s.Executed++
-		if e.fn != nil {
-			e.fn()
-		} else {
-			s.handlers[e.hw>>48](e.hw & MaxHandlerArg)
-		}
+		s.step()
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
+}
+
+// Head returns the virtual time of the earliest pending event, or ok=false
+// when the queue is empty. The sharded coordinator reads it between windows
+// to pick the next window start; single-kernel callers never need it.
+func (s *Sim) Head() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
 }
 
 // Pending returns the number of queued events.
