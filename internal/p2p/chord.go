@@ -129,7 +129,7 @@ type chordState struct {
 // lookup run on every routed message, and at scale-study event counts the
 // map hashing alone dominated whole cells (28% of the s1 smoke).
 type Chord struct {
-	rt      *Runtime
+	rt      Transport
 	cfg     ChordConfig
 	src     *rng.Source
 	states  []*chordState // states[id]; nil = not a member
@@ -154,11 +154,11 @@ type chordScratch struct {
 // population — the hash is pure, so warming changes nothing except that
 // the lazy first-touch write (a data race once shards run concurrently)
 // never happens.
-func NewChord(rt *Runtime, cfg ChordConfig, seed int64) *Chord {
+func NewChord(rt Transport, cfg ChordConfig, seed int64) *Chord {
 	if cfg.SuccListLen <= 0 || cfg.StabilizeEvery <= 0 || cfg.Replicas <= 0 || cfg.RPCTimeout <= 0 || cfg.MaxHops <= 0 {
 		panic(fmt.Sprintf("p2p: invalid chord config %+v", cfg))
 	}
-	n := rt.m.N()
+	n := rt.Population()
 	c := &Chord{
 		rt:      rt,
 		cfg:     cfg,
@@ -176,8 +176,22 @@ func NewChord(rt *Runtime, cfg ChordConfig, seed int64) *Chord {
 	return c
 }
 
-// Runtime returns the transport the protocol runs on.
-func (c *Chord) Runtime() *Runtime { return c.rt }
+// Transport returns the transport the protocol runs on.
+func (c *Chord) Transport() Transport { return c.rt }
+
+// Bootstrap seeds the membership handout with node IDs known out of band
+// — the rendezvous a deployed ring needs. The IDs enter the bootstrap
+// pool (randomMember draws from it) without protocol state: a live
+// deployment (cmd/npnode) names its configured peers here so a joining
+// node's own-identifier lookup has somewhere to start, exactly as the
+// simulator's join ramp hands out a random live member.
+func (c *Chord) Bootstrap(ids ...NodeID) {
+	for _, id := range ids {
+		if c.state(id) == nil {
+			c.insertMember(id)
+		}
+	}
+}
 
 // RingIDOf maps a node onto the identifier ring, reusing the DHT package's
 // consistent hashing (cached — the hash is pure). The hit path is small
@@ -1064,7 +1078,7 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 	// Flight recorder: one trace record per hop request, tagged with a
 	// recorder-unique lookup ID. afterTimeout distinguishes a first-choice
 	// hop (HopOK) from one re-routed after a timeout (HopRetry).
-	rec := c.rt.obsRec
+	rec := c.rt.FlightRecorder()
 	var lseq uint64
 	if rec != nil {
 		lseq = rec.Begin()

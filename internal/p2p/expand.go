@@ -99,13 +99,13 @@ type expandSlot struct {
 // Expanding runs expanding-ring searches over a Runtime. Members must
 // Register; the searcher itself need not be a member.
 type Expanding struct {
-	rt       *Runtime
+	rt       Transport
 	cfg      ExpandConfig
 	byClient []expandSlot // indexed by NodeID
 }
 
 // NewExpanding creates the protocol instance.
-func NewExpanding(rt *Runtime, cfg ExpandConfig) *Expanding {
+func NewExpanding(rt Transport, cfg ExpandConfig) *Expanding {
 	if cfg.Rounds <= 0 || cfg.RoundTimeout <= 0 || cfg.InitialRadiusMs <= 0 || cfg.RadiusMult <= 1 {
 		panic(fmt.Sprintf("p2p: invalid expand config %+v", cfg))
 	}

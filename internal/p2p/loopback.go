@@ -1,0 +1,78 @@
+package p2p
+
+import (
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/rng"
+)
+
+// Loopback is the in-process live transport: real goroutines and
+// wall-clock timers, with link delays priced from the same latency matrix
+// the simulator uses. Envelopes never touch a socket — each send arms a
+// wall-clock timer for the one-way delay and posts delivery to the event
+// loop — so the protocol stack runs exactly as deployed (concurrent
+// timers, real races between timeouts and replies) while links still obey
+// the matrix. The differential conformance tests run seeded workloads here
+// and check the results against the simulated oracle.
+type Loopback struct {
+	liveBase
+	m    latency.Matrix
+	loss *rng.Source
+}
+
+// NewLoopback creates a loopback transport over a latency matrix. seed
+// drives the loss model draws (unused when cfg.LossProb is 0).
+func NewLoopback(m latency.Matrix, cfg Config, seed int64) *Loopback {
+	lb := &Loopback{m: m, loss: rng.New(seed).Split("loss")}
+	lb.init(lb, m.N(), cfg)
+	return lb
+}
+
+// Close stops the event loop. Timers and sends still in flight are
+// discarded; Close does not wait for protocol quiescence.
+func (lb *Loopback) Close() { lb.loop.close() }
+
+// send prices the envelope's one-way delay from the matrix, applies the
+// loss model, and arms a wall-clock timer that posts delivery to the
+// event loop. Runs on the loop (all sends originate in Node methods).
+func (lb *Loopback) send(env Envelope) {
+	lb.metrics.MsgsSent++
+	if lb.cfg.LossProb > 0 && lb.loss.Float64() < lb.cfg.LossProb {
+		lb.metrics.MsgsLost++
+		return
+	}
+	d := oneWayDelay(lb.m.LatencyMs(int(env.From), int(env.To)), env.Resp)
+	deliver := func() {
+		lb.loop.post(func() {
+			n := lb.Node(env.To)
+			if n == nil || !n.alive {
+				lb.metrics.MsgsDead++
+				return
+			}
+			lb.metrics.MsgsDelivered++
+			n.deliver(env)
+		})
+	}
+	if d <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(d, func() { deliver() })
+}
+
+// Multicast sends one-way copies of a message to every live group member
+// within radiusMs of the sender (per the matrix), returning the copy
+// count — the same latency-scoped semantics as the simulator's.
+func (lb *Loopback) Multicast(from NodeID, gname, typ string, payload any, radiusMs float64) int {
+	sent := 0
+	for _, id := range lb.groupMembers(gname) {
+		if id == from || lb.m.LatencyMs(int(from), int(id)) > radiusMs {
+			continue
+		}
+		lb.metrics.MsgsMulticast++
+		lb.send(Envelope{Type: typ, From: from, To: id, MsgID: lb.allocMsgIDFor(from), Payload: payload})
+		sent++
+	}
+	return sent
+}

@@ -144,7 +144,7 @@ type pendingQuery struct {
 // Meridian runs the protocol over a Runtime: it tracks live membership,
 // installs handlers on joining nodes, and originates queries.
 type Meridian struct {
-	rt      *Runtime
+	rt      Transport
 	cfg     MeridianConfig
 	src     *rng.Source
 	states  map[NodeID]*meridianState
@@ -154,7 +154,7 @@ type Meridian struct {
 }
 
 // NewMeridian creates the protocol instance (with no members yet).
-func NewMeridian(rt *Runtime, cfg MeridianConfig, seed int64) *Meridian {
+func NewMeridian(rt Transport, cfg MeridianConfig, seed int64) *Meridian {
 	if cfg.RingSize <= 0 || cfg.NumRings <= 0 || cfg.RingBase <= 0 || cfg.RingMult <= 1 || cfg.Beta <= 0 {
 		panic(fmt.Sprintf("p2p: invalid meridian config %+v", cfg))
 	}
@@ -371,11 +371,11 @@ func (m *Meridian) FindNearest(client, target NodeID, done func(QueryResult)) {
 	m.nextQID++
 	qid := m.nextQID
 	m.queries[qid] = &pendingQuery{
-		started:       m.rt.Kernel.Now(),
-		probesAtStart: m.rt.Metrics.QueryProbes,
+		started:       m.rt.Now(client),
+		probesAtStart: m.rt.SerialMetrics().QueryProbes,
 		done:          done,
 	}
-	m.rt.Kernel.After(m.cfg.QueryDeadline, func() {
+	m.rt.After(client, m.cfg.QueryDeadline, func() {
 		pq, ok := m.queries[qid]
 		if !ok {
 			return
@@ -383,8 +383,8 @@ func (m *Meridian) FindNearest(client, target NodeID, done func(QueryResult)) {
 		delete(m.queries, qid)
 		pq.done(QueryResult{
 			Peer:      -1,
-			Probes:    m.rt.Metrics.QueryProbes - pq.probesAtStart,
-			Elapsed:   m.rt.Kernel.Now() - pq.started,
+			Probes:    m.rt.SerialMetrics().QueryProbes - pq.probesAtStart,
+			Elapsed:   m.rt.Now(client) - pq.started,
 			Completed: false,
 		})
 	})
@@ -399,7 +399,7 @@ func (m *Meridian) startQuery(n *Node, q queryMsg, attempts int) {
 		return // deadline already fired
 	}
 	if attempts <= 0 || len(m.order) == 0 {
-		m.reportDone(q.QID, doneMsg{QID: q.QID, BestID: q.BestID, BestLat: q.BestLat})
+		m.reportDone(q.QID, doneMsg{QID: q.QID, BestID: q.BestID, BestLat: q.BestLat}, m.rt.Now(n.ID))
 		return
 	}
 	start := m.order[m.src.Intn(len(m.order))]
@@ -410,10 +410,10 @@ func (m *Meridian) startQuery(n *Node, q queryMsg, attempts int) {
 
 // handleDone resolves the origin-side pending query.
 func (m *Meridian) handleDone(n *Node, env Envelope) {
-	m.reportDone(env.Payload.(doneMsg).QID, env.Payload.(doneMsg))
+	m.reportDone(env.Payload.(doneMsg).QID, env.Payload.(doneMsg), m.rt.Now(n.ID))
 }
 
-func (m *Meridian) reportDone(qid uint64, dm doneMsg) {
+func (m *Meridian) reportDone(qid uint64, dm doneMsg, now time.Duration) {
 	pq, ok := m.queries[qid]
 	if !ok {
 		return // deadline fired, or a duplicate report from a split walk
@@ -422,9 +422,9 @@ func (m *Meridian) reportDone(qid uint64, dm doneMsg) {
 	res := QueryResult{
 		Peer:      int(dm.BestID),
 		LatencyMs: dm.BestLat,
-		Probes:    m.rt.Metrics.QueryProbes - pq.probesAtStart,
+		Probes:    m.rt.SerialMetrics().QueryProbes - pq.probesAtStart,
 		Hops:      dm.Hops,
-		Elapsed:   m.rt.Kernel.Now() - pq.started,
+		Elapsed:   now - pq.started,
 		Completed: true,
 	}
 	if dm.BestID < 0 {
@@ -448,9 +448,9 @@ func (m *Meridian) handleQuery(n *Node, env Envelope) {
 		m.probePhase(n, st, q)
 		return
 	}
-	pingAt := m.rt.Kernel.Now()
+	pingAt := m.rt.Now(n.ID)
 	n.Ping(q.Target, m.cfg.RPCTimeout, false, func(rtt float64, ok bool) {
-		if rec := m.rt.obsRec; rec != nil {
+		if rec := m.rt.FlightRecorder(); rec != nil {
 			out := obs.HopOK
 			if !ok {
 				out = obs.HopTimeout
@@ -557,21 +557,21 @@ func (m *Meridian) advanceFrom(n *Node, q queryMsg, reports []probeReport, alter
 	fwd := q
 	fwd.D = next.rtt
 	fwd.Hops++
-	hopStart := m.rt.Kernel.Now()
+	hopStart := m.rt.Now(n.ID)
 	n.Request(next.id, MsgQuery, fwd, m.cfg.RPCTimeout,
 		func(Envelope) {
-			if rec := m.rt.obsRec; rec != nil {
+			if rec := m.rt.FlightRecorder(); rec != nil {
 				out := obs.HopOK
 				if alternate {
 					out = obs.HopAlternate
 				}
 				rec.Record(obs.Hop{Lookup: q.QID, Scheme: "meridian", Type: MsgQuery,
 					From: int(n.ID), To: int(next.id), At: hopStart,
-					RTTms: msOf(m.rt.Kernel.Now() - hopStart), Outcome: out})
+					RTTms: msOf(m.rt.Now(n.ID) - hopStart), Outcome: out})
 			}
 		},
 		func() {
-			if rec := m.rt.obsRec; rec != nil {
+			if rec := m.rt.FlightRecorder(); rec != nil {
 				rec.Record(obs.Hop{Lookup: q.QID, Scheme: "meridian", Type: MsgQuery,
 					From: int(n.ID), To: int(next.id), At: hopStart, Outcome: obs.HopTimeout})
 			}

@@ -25,7 +25,7 @@ type Node struct {
 	// ID is the node's matrix index.
 	ID NodeID
 
-	rt       *Runtime
+	rt       Transport
 	alive    bool
 	handlers map[string]Handler
 	inflight map[uint64]call
@@ -34,8 +34,8 @@ type Node struct {
 // Alive reports whether the node is up.
 func (n *Node) Alive() bool { return n.alive }
 
-// Runtime returns the owning runtime.
-func (n *Node) Runtime() *Runtime { return n.rt }
+// Transport returns the transport the node lives on.
+func (n *Node) Transport() Transport { return n.rt }
 
 // Handle installs the handler for a message type (replacing any previous
 // one). Messages with no handler and no inflight correlation are dropped,
@@ -46,7 +46,7 @@ func (n *Node) Handle(typ string, h Handler) { n.handlers[typ] = h }
 // it made is forgotten — their timeout events will find nothing to fire.
 func (n *Node) Stop() {
 	if n.alive {
-		n.rt.liveCount--
+		n.rt.noteLive(-1)
 	}
 	n.alive = false
 	n.inflight = make(map[uint64]call)
@@ -56,7 +56,7 @@ func (n *Node) Stop() {
 // inflight state, as a process restart would.
 func (n *Node) Restart() {
 	if !n.alive {
-		n.rt.liveCount++
+		n.rt.noteLive(1)
 	}
 	n.alive = true
 	n.inflight = make(map[uint64]call)
@@ -83,7 +83,7 @@ func (n *Node) Send(to NodeID, typ string, payload any) uint64 {
 // requests, and the expiry bookkeeping itself must not allocate.
 func (n *Node) Request(to NodeID, typ string, payload any, timeout time.Duration, onReply func(Envelope), onTimeout func()) uint64 {
 	if timeout <= 0 {
-		timeout = n.rt.cfg.RPCTimeout
+		timeout = n.rt.defaultRPCTimeout()
 	}
 	id := n.rt.allocMsgIDFor(n.ID)
 	n.inflight[id] = call{onReply: onReply, onTimeout: onTimeout}
@@ -123,7 +123,7 @@ func (n *Node) expire(msgID uint64) {
 		return // answered, or we restarted meanwhile
 	}
 	delete(n.inflight, msgID)
-	n.rt.sh[n.rt.shardIdx(n.ID)].metrics.Timeouts++
+	n.rt.metricsAt(n.ID).Timeouts++
 	if c.onTimeout != nil {
 		c.onTimeout()
 	}
@@ -177,7 +177,7 @@ func (n *Node) SweepPing(targets []NodeID, timeout time.Duration, done func(Ping
 // the static Network's accounting, which has no way to fail. done receives
 // (rtt, true) on a pong or (0, false) on timeout.
 func (n *Node) Ping(to NodeID, timeout time.Duration, maint bool, done func(rttMs float64, ok bool)) {
-	met := n.rt.sh[n.rt.shardIdx(n.ID)].metrics
+	met := n.rt.metricsAt(n.ID)
 	if maint {
 		met.MaintProbes++
 	} else {

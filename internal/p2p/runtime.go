@@ -657,6 +657,34 @@ func (r *Runtime) PendingExpiries() int {
 	return n
 }
 
+// SerialMetrics returns the runtime-wide metrics struct serial protocols
+// charge directly — the Metrics field. On a sharded runtime the field
+// stays zero (see Metrics); sharded protocols charge ShardMetrics instead.
+func (r *Runtime) SerialMetrics() *Metrics { return &r.Metrics }
+
+// RegisterHandler registers a typed-event handler on the driver kernel
+// (the only kernel of a serial runtime) — the Transport seam's version of
+// sim.Sim.RegisterHandler for serial protocols pacing typed tick chains.
+func (r *Runtime) RegisterHandler(fn func(arg uint64)) sim.HandlerID {
+	return r.Kernel.RegisterHandler(fn)
+}
+
+// AfterHandler schedules a registered typed handler after d of driver
+// virtual time (see RegisterHandler).
+func (r *Runtime) AfterHandler(d time.Duration, h sim.HandlerID, arg uint64) {
+	r.Kernel.AfterHandler(d, h, arg)
+}
+
+// defaultRPCTimeout is the configured request expiry fallback.
+func (r *Runtime) defaultRPCTimeout() time.Duration { return r.cfg.RPCTimeout }
+
+// metricsAt returns the metrics struct charged for activity at a node:
+// its home shard's.
+func (r *Runtime) metricsAt(id NodeID) *Metrics { return r.sh[r.shardIdx(id)].metrics }
+
+// noteLive adjusts the live-node count (Node.Stop/Restart bookkeeping).
+func (r *Runtime) noteLive(delta int) { r.liveCount += delta }
+
 // TotalMetrics sums the per-shard metrics. On a serial runtime it equals
 // the Metrics field; figure code reads this so serial and sharded cells
 // render through one accessor.

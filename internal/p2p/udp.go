@@ -1,0 +1,251 @@
+// The UDP transport: real datagrams between real sockets, with the codec
+// (codec.go) framing every envelope and a read loop per socket feeding
+// the event loop. The inflight-waiter correlation lives in Node, exactly
+// as on the other transports — a response datagram's MsgID finds its
+// parked request, a late or duplicate reply finds nothing and is dropped,
+// a timeout that fires first wins the race.
+//
+// One UDP value can host many local nodes (one socket each), so a whole
+// cluster can live in one process over real datagrams — the CI smoke test
+// does — or one node per process, as cmd/npnode deploys it. Remote peers
+// are named by a peer table (NodeID → address) seeded from configuration;
+// addresses of unknown senders are learned from their datagrams, which is
+// what lets an ephemeral CLI client with a fresh NodeID query a daemon
+// without being in anyone's table.
+
+package p2p
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/rng"
+)
+
+// UDP is the datagram live transport. Create with NewUDP, bring local
+// nodes up with Listen, name remote peers with AddPeer, and Close when
+// done.
+type UDP struct {
+	liveBase
+	loss *rng.Source
+
+	pmu   sync.RWMutex
+	conns map[NodeID]*net.UDPConn
+	peers map[NodeID]*net.UDPAddr
+
+	// delay, when set, prices an artificial receive-side delay from a
+	// latency matrix (request leg rtt/2, response leg the remainder), so an
+	// in-process cluster on the loopback interface exhibits the matrix's
+	// RTTs and a ping measures ≈ the matrix entry — the hook the CI smoke
+	// test uses to cross-check `nearest` against the static oracle.
+	delay atomic.Pointer[latency.Matrix]
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewUDP creates a UDP transport with the given ID-space bound (NodeIDs
+// live in [0, pop)). seed drives the loss-model draws (unused when
+// cfg.LossProb is 0 — real networks bring their own loss).
+func NewUDP(pop int, cfg Config, seed int64) *UDP {
+	u := &UDP{
+		loss:  rng.New(seed).Split("loss"),
+		conns: make(map[NodeID]*net.UDPConn),
+		peers: make(map[NodeID]*net.UDPAddr),
+	}
+	u.init(u, pop, cfg)
+	return u
+}
+
+// SetDelayMatrix installs (or, with nil, removes) the artificial
+// receive-side delay matrix. Call before traffic flows.
+func (u *UDP) SetDelayMatrix(m latency.Matrix) {
+	if m == nil {
+		u.delay.Store(nil)
+		return
+	}
+	u.delay.Store(&m)
+}
+
+// Listen binds a socket for a local node, registers the node, and starts
+// its read loop. addr is a "host:port" UDP address; empty means
+// "127.0.0.1:0" (an ephemeral loopback port). It returns the bound
+// address — the one to hand other processes as this node's peer address.
+func (u *UDP) Listen(id NodeID, addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", fmt.Errorf("p2p: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return "", fmt.Errorf("p2p: listen %q: %w", addr, err)
+	}
+	u.pmu.Lock()
+	if _, dup := u.conns[id]; dup {
+		u.pmu.Unlock()
+		conn.Close()
+		return "", fmt.Errorf("p2p: node %d already listening", id)
+	}
+	u.conns[id] = conn
+	u.pmu.Unlock()
+	u.AddNode(id)
+	u.wg.Add(1)
+	go u.readLoop(id, conn)
+	return conn.LocalAddr().String(), nil
+}
+
+// AddPeer names a remote node's address in the peer table.
+func (u *UDP) AddPeer(id NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: resolve peer %d %q: %w", id, addr, err)
+	}
+	u.pmu.Lock()
+	u.peers[id] = ua
+	u.pmu.Unlock()
+	return nil
+}
+
+// LocalAddr returns the bound address of a local node's socket, or "".
+func (u *UDP) LocalAddr(id NodeID) string {
+	u.pmu.RLock()
+	defer u.pmu.RUnlock()
+	if c := u.conns[id]; c != nil {
+		return c.LocalAddr().String()
+	}
+	return ""
+}
+
+// Close shuts the transport down: sockets close, read loops drain, the
+// event loop stops. Safe to call twice.
+func (u *UDP) Close() error {
+	if !u.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	u.pmu.Lock()
+	for _, c := range u.conns {
+		c.Close()
+	}
+	u.pmu.Unlock()
+	u.wg.Wait()
+	u.loop.close()
+	return nil
+}
+
+// addrOf resolves a destination: local nodes by their own socket's bound
+// address (the datagram still crosses the stack — the codec and read loop
+// are exercised even in-process), then the peer table.
+func (u *UDP) addrOf(to NodeID) *net.UDPAddr {
+	u.pmu.RLock()
+	defer u.pmu.RUnlock()
+	if c := u.conns[to]; c != nil {
+		return c.LocalAddr().(*net.UDPAddr)
+	}
+	return u.peers[to]
+}
+
+// send encodes the envelope and writes one datagram from the sender's own
+// socket. Unroutable destinations, encode failures, and write errors all
+// count as dead letters — UDP promises nothing, and the request timeout
+// is what surfaces the loss to the protocol.
+func (u *UDP) send(env Envelope) {
+	u.metrics.MsgsSent++
+	if u.cfg.LossProb > 0 && u.loss.Float64() < u.cfg.LossProb {
+		u.metrics.MsgsLost++
+		return
+	}
+	u.pmu.RLock()
+	src := u.conns[env.From]
+	u.pmu.RUnlock()
+	dst := u.addrOf(env.To)
+	if src == nil || dst == nil {
+		u.metrics.MsgsDead++
+		return
+	}
+	frame, err := EncodeEnvelope(env)
+	if err != nil {
+		u.metrics.MsgsDead++
+		return
+	}
+	if _, err := src.WriteToUDP(frame, dst); err != nil {
+		u.metrics.MsgsDead++
+	}
+}
+
+// Multicast is unsupported on UDP: with no link oracle there is no
+// latency scope to expand. It reports zero copies sent.
+func (u *UDP) Multicast(NodeID, string, string, any, float64) int { return 0 }
+
+// readLoop drains one local node's socket: decode, learn the sender's
+// address, price the artificial delay if a matrix is installed, and post
+// delivery to the event loop. It exits when the socket closes.
+func (u *UDP) readLoop(self NodeID, conn *net.UDPConn) {
+	defer u.wg.Done()
+	buf := make([]byte, MaxFrame+1)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed (or broken): this node is done receiving
+		}
+		env, err := DecodeEnvelope(append([]byte(nil), buf[:n]...))
+		if err != nil {
+			u.loop.post(func() { u.metrics.MsgsDead++ })
+			continue
+		}
+		env.To = self // trust the socket, not the frame
+		u.learnPeer(env.From, raddr)
+		deliver := func() {
+			u.loop.post(func() {
+				node := u.Node(self)
+				if node == nil || !node.alive {
+					u.metrics.MsgsDead++
+					return
+				}
+				u.metrics.MsgsDelivered++
+				node.deliver(env)
+			})
+		}
+		if d := u.artificialDelay(env); d > 0 {
+			time.AfterFunc(d, func() { deliver() })
+		} else {
+			deliver()
+		}
+	}
+}
+
+// learnPeer records a sender's address, last-seen wins — the path that
+// lets ephemeral clients be answered, including a client that re-binds a
+// fresh port under a previously seen NodeID (successive CLI invocations).
+func (u *UDP) learnPeer(from NodeID, raddr *net.UDPAddr) {
+	u.pmu.RLock()
+	_, isLocal := u.conns[from]
+	known := u.peers[from]
+	u.pmu.RUnlock()
+	if isLocal || (known != nil && known.IP.Equal(raddr.IP) && known.Port == raddr.Port) {
+		return
+	}
+	u.pmu.Lock()
+	u.peers[from] = raddr
+	u.pmu.Unlock()
+}
+
+// artificialDelay prices the receive-side delay for an envelope when a
+// delay matrix is installed and both endpoints fall inside it.
+func (u *UDP) artificialDelay(env Envelope) time.Duration {
+	mp := u.delay.Load()
+	if mp == nil {
+		return 0
+	}
+	m := *mp
+	if int(env.From) < 0 || int(env.From) >= m.N() || int(env.To) < 0 || int(env.To) >= m.N() {
+		return 0
+	}
+	return oneWayDelay(m.LatencyMs(int(env.From), int(env.To)), env.Resp)
+}

@@ -114,7 +114,7 @@ func (w *Wire) FindNearest(peer netmodel.HostID, done func(WireResult)) {
 		for i, c := range cands {
 			ids[i] = w.index[c.peer]
 		}
-		w.chord.Runtime().Node(node).SweepPing(ids, w.PingTimeout, func(s p2p.PingSweep) {
+		w.chord.Transport().Node(node).SweepPing(ids, w.PingTimeout, func(s p2p.PingSweep) {
 			res.Probes, res.DeadProbes, res.Found = s.Probes, s.Dead, s.Found
 			if s.Found {
 				res.Peer, res.RTTms = w.hosts[int(s.Best)], s.BestRTT

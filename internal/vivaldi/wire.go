@@ -56,6 +56,14 @@ const (
 	MsgWalkOK = "v_walk_ok"
 )
 
+// init registers the wire payloads with the UDP codec so the gossip and
+// walk messages survive a trip through real datagrams.
+func init() {
+	p2p.RegisterPayload("v_snap", &gossipSnap{})
+	p2p.RegisterPayload("v_walk", walkMsg{})
+	p2p.RegisterPayload("v_walk_ok", walkOKMsg{})
+}
+
 // nbrFailLimit evicts a neighbor after this many consecutive unanswered
 // gossips. One miss must not evict — under packet loss a healthy neighbor
 // misses ~2·loss of its exchanges — but two in a row is overwhelmingly a
@@ -169,7 +177,7 @@ type wireState struct {
 // Wire runs the Vivaldi gossip protocol and the coordinate-guided search
 // over a p2p.Runtime.
 type Wire struct {
-	rt  *p2p.Runtime
+	rt  p2p.Transport
 	cfg WireConfig
 	src *rng.Source
 	// qsrc drives query-time randomness (placement member picks), split
@@ -192,7 +200,7 @@ type Wire struct {
 }
 
 // NewWire creates the protocol instance (with no members yet).
-func NewWire(rt *p2p.Runtime, cfg WireConfig, seed int64) *Wire {
+func NewWire(rt p2p.Transport, cfg WireConfig, seed int64) *Wire {
 	v := cfg.Vivaldi
 	if v.Dimensions <= 0 || v.Dimensions > MaxDimensions || v.CE <= 0 || v.CC <= 0 ||
 		cfg.GossipEvery <= 0 || cfg.Neighbors <= 0 || cfg.SnapshotTTL <= 0 ||
@@ -209,13 +217,13 @@ func NewWire(rt *p2p.Runtime, cfg WireConfig, seed int64) *Wire {
 		scratch: Coord{Vec: make([]float64, v.Dimensions)},
 	}
 	w.qsrc = w.src.Split("query")
-	w.tickH = rt.Kernel.RegisterHandler(w.tick)
-	w.reclaimH = rt.Kernel.RegisterHandler(w.reclaimSnap)
+	w.tickH = rt.RegisterHandler(w.tick)
+	w.reclaimH = rt.RegisterHandler(w.reclaimSnap)
 	return w
 }
 
-// Runtime returns the transport the protocol runs on.
-func (w *Wire) Runtime() *p2p.Runtime { return w.rt }
+// Transport returns the transport the protocol runs on.
+func (w *Wire) Transport() p2p.Transport { return w.rt }
 
 // Metrics returns the protocol counters.
 func (w *Wire) Metrics() WireMetrics { return w.metrics }
@@ -380,10 +388,10 @@ func packTick(epoch uint32, id p2p.NodeID) uint64 {
 // tick) and at the configured horizon.
 func (w *Wire) scheduleTick(id p2p.NodeID, st *wireState) {
 	d := w.cfg.GossipEvery + time.Duration(st.src.Int63n(int64(w.cfg.GossipEvery)/4+1))
-	if h := w.cfg.Horizon; h > 0 && w.rt.Kernel.Now()+d > h {
+	if h := w.cfg.Horizon; h > 0 && w.rt.Now(id)+d > h {
 		return
 	}
-	w.rt.Kernel.AfterHandler(d, w.tickH, packTick(st.epoch, id))
+	w.rt.AfterHandler(d, w.tickH, packTick(st.epoch, id))
 }
 
 // tick is the registered gossip-tick handler: one gossip for the member if
@@ -433,10 +441,10 @@ func (w *Wire) gossipOnce(id p2p.NodeID, st *wireState) {
 	}
 	to := st.nbrs[st.src.Intn(st.nNbrs)].id
 	n := w.rt.Node(id)
-	w.rt.Metrics.MaintProbes++ // a gossip is a maintenance RTT measurement
+	w.rt.SerialMetrics().MaintProbes++ // a gossip is a maintenance RTT measurement
 	st.pendingMsgID = n.Send(to, MsgGossip, nil)
 	st.pendingTo = to
-	st.sentAt = w.rt.Kernel.Now()
+	st.sentAt = w.rt.Now(id)
 	w.metrics.Gossips++
 }
 
@@ -452,7 +460,7 @@ func (w *Wire) snapGet() *gossipSnap {
 		w.snaps = append(w.snaps, &gossipSnap{Vec: make([]float64, w.cfg.Vivaldi.Dimensions)})
 		slot = uint32(len(w.snaps) - 1)
 	}
-	w.rt.Kernel.AfterHandler(w.cfg.SnapshotTTL, w.reclaimH, uint64(slot))
+	w.rt.AfterHandler(w.cfg.SnapshotTTL, w.reclaimH, uint64(slot))
 	return w.snaps[slot]
 }
 
@@ -503,7 +511,7 @@ func (w *Wire) handleGossipOK(n *p2p.Node, env p2p.Envelope) {
 		return
 	}
 	st.pendingMsgID = 0
-	rtt := float64(w.rt.Kernel.Now()-st.sentAt) / float64(time.Millisecond)
+	rtt := float64(w.rt.Now(n.ID)-st.sentAt) / float64(time.Millisecond)
 	copy(w.scratch.Vec, s.Vec)
 	w.scratch.Height, w.scratch.Err = s.Height, s.Err
 	st.coord.Update(&w.scratch, rtt, w.cfg.Vivaldi, st.src)
@@ -700,12 +708,12 @@ func (w *Wire) place(n *p2p.Node, client p2p.NodeID, lseq uint64, res *WireResul
 			w.walk(n, client, lseq, tc, best.from, res, done)
 			return
 		}
-		w.rt.Metrics.QueryProbes++
+		w.rt.SerialMetrics().QueryProbes++
 		res.Probes++
-		start := w.rt.Kernel.Now()
+		start := w.rt.Now(n.ID)
 		n.Request(targets[i], MsgProbe, nil, w.cfg.RPCTimeout,
 			func(env p2p.Envelope) {
-				rtt := float64(w.rt.Kernel.Now()-start) / float64(time.Millisecond)
+				rtt := float64(w.rt.Now(n.ID)-start) / float64(time.Millisecond)
 				if rec := w.rt.FlightRecorder(); rec != nil {
 					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgProbe,
 						From: int(n.ID), To: int(targets[i]), At: start, RTTms: rtt, Outcome: obs.HopOK})
@@ -766,14 +774,14 @@ func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, lseq uint64, tc *Coord, star
 			return
 		}
 		visited[cur] = true
-		hopStart := w.rt.Kernel.Now()
+		hopStart := w.rt.Now(n.ID)
 		hopTo := cur
 		n.Request(cur, MsgWalk, payload, w.cfg.RPCTimeout,
 			func(env p2p.Envelope) {
 				if rec := w.rt.FlightRecorder(); rec != nil {
 					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgWalk,
 						From: int(n.ID), To: int(hopTo), At: hopStart,
-						RTTms:   float64(w.rt.Kernel.Now()-hopStart) / float64(time.Millisecond),
+						RTTms:   float64(w.rt.Now(n.ID)-hopStart) / float64(time.Millisecond),
 						Outcome: obs.HopOK})
 				}
 				ok := env.Payload.(walkOKMsg)

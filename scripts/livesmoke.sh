@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Live-cluster smoke: boot a 10-node UDP cluster in one process, run
+# put/get/nearest through the npnode CLI as an ephemeral client, and
+# cross-check nearest against the static oracle's argmin over the same
+# latency matrix. Node logs land in $LOGDIR (CI uploads them as an
+# artifact). Exits nonzero on any mismatch.
+set -euo pipefail
+
+LOGDIR="${LOGDIR:-livesmoke-logs}"
+BIN="${BIN:-$LOGDIR/npnode}"
+MATRIX="$LOGDIR/matrix.json"
+CLUSTER=(-ids 0-9 -n 12)
+CLIENT=10 # a spare matrix row, not a cluster member
+
+mkdir -p "$LOGDIR"
+go build -o "$BIN" ./cmd/npnode
+
+"$BIN" genmatrix -n 12 -seed 5 > "$MATRIX"
+
+"$BIN" serve "${CLUSTER[@]}" -matrix "$MATRIX" -delay -status 5s \
+  > "$LOGDIR/cluster.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# Ready when the daemon reports ring convergence — a put racing the join
+# churn can land at a transient owner and strand the key.
+for i in $(seq 1 60); do
+  if grep -q 'ring converged' "$LOGDIR/cluster.log"; then
+    break
+  fi
+  if [ "$i" = 60 ]; then
+    echo "ring never converged; cluster log tail:" >&2
+    tail -20 "$LOGDIR/cluster.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+
+# put/get round trips through separate client processes.
+for k in alpha beta gamma; do
+  "$BIN" put -as "$CLIENT" "${CLUSTER[@]}" "key-$k" "val-$k" | tee -a "$LOGDIR/client.log"
+done
+for k in alpha beta gamma; do
+  got=$("$BIN" get -as "$CLIENT" "${CLUSTER[@]}" "key-$k" | tee -a "$LOGDIR/client.log")
+  case "$got" in
+    "get key-$k = val-$k"*) ;;
+    *) echo "FAIL: get key-$k returned: $got" >&2; exit 1 ;;
+  esac
+done
+
+# nearest over real datagrams vs the oracle's static argmin: the measured
+# RTTs are the matrix's artificial delays plus sub-millisecond overhead,
+# and genmatrix spaces every pair ≥2 ms apart, so the argmins must agree.
+live=$("$BIN" nearest -as "$CLIENT" "${CLUSTER[@]}" -matrix "$MATRIX" -delay | tee -a "$LOGDIR/client.log")
+want=$("$BIN" oracle -matrix "$MATRIX" -from "$CLIENT" -ids 0-9 | tee -a "$LOGDIR/client.log")
+live_id=$(echo "$live" | awk '{print $2}')
+want_id=$(echo "$want" | awk '{print $2}')
+if [ "$live_id" != "$want_id" ]; then
+  echo "FAIL: live nearest picked node $live_id, oracle says $want_id" >&2
+  echo "  live:   $live" >&2
+  echo "  oracle: $want" >&2
+  exit 1
+fi
+
+echo "livesmoke OK: put/get round-tripped, nearest == oracle argmin (node $live_id)"
