@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/p2p"
 	"nearestpeer/internal/rng"
@@ -244,6 +245,7 @@ func cmdServe(args []string) error {
 	serveIDs := fs.String("serve-ids", "", "IDs served by this process (default: all of -ids)")
 	listen := fs.String("listen", "", "bind address override (single served ID only)")
 	stabilize := fs.Duration("stabilize", 200*time.Millisecond, "chord stabilize period")
+	faultSpec := fs.String("faults", "", `deterministic fault plan over the UDP wire, e.g. "seed=7;burst:at=10s,for=30s,prob=0.3" (see internal/faults; time counts from transport start)`)
 	status := fs.Duration("status", 2*time.Second, "status log period (0 disables)")
 	fs.Parse(args)
 
@@ -266,6 +268,14 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer u.Close()
+	if *faultSpec != "" {
+		plan, perr := faults.Parse(*faultSpec)
+		if perr != nil {
+			return perr
+		}
+		p2p.NewFaultTransport(u, plan)
+		log.Printf("fault plan armed: %s", plan)
+	}
 
 	ch := p2p.NewChord(u, chordConfig(*stabilize, cf.rpcTimeout), cf.seed)
 	u.Do(func() {
@@ -323,7 +333,20 @@ func cmdServe(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("caught %v, shutting down", s)
+	log.Printf("caught %v: leaving the ring", s)
+	// Graceful departure: each served node hands its keys to its successor
+	// and stops, so a key stored here survives this process's shutdown as
+	// long as the successor is in another process (the live smoke's
+	// restart round gates on exactly that).
+	u.Do(func() {
+		for _, id := range local {
+			ch.Leave(id, true)
+			log.Printf("node %d left the ring (graceful handoff)", id)
+		}
+	})
+	// Let the handoff datagrams drain before the sockets close.
+	time.Sleep(500 * time.Millisecond)
+	log.Printf("shutdown complete")
 	return nil
 }
 

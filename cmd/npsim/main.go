@@ -21,6 +21,7 @@ import (
 	"nearestpeer/internal/beacon"
 	"nearestpeer/internal/engine"
 	"nearestpeer/internal/experiments"
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/kargerruhl"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
@@ -51,6 +52,7 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker-pool width (0 = GOMAXPROCS); results are byte-identical at any width")
 	shards := flag.Int("shards", 1, "intra-trial kernel shards for the scale-study wire cells; results are byte-identical at any count")
 	tracePath := flag.String("trace", "", "write a flight-recorder JSON dump of the run's lookup hops to this file (requires -runtime)")
+	faultSpec := flag.String("faults", "", `deterministic fault plan for the runtime wire, e.g. "seed=7;burst:at=30s,for=1m,prob=0.4" (requires -runtime; see internal/faults)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
@@ -88,6 +90,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-trace requires -runtime (the flight recorder hooks the message runtime's lookup paths)")
 		os.Exit(2)
 	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		if !*runtime {
+			fmt.Fprintln(os.Stderr, "-faults requires -runtime (the fault plane hooks the message transports)")
+			os.Exit(2)
+		}
+		var err error
+		if plan, err = faults.Parse(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "npsim:", err)
+			os.Exit(2)
+		}
+	}
 	var rec *obs.Recorder
 	if *tracePath != "" {
 		rec = obs.NewRecorder(traceCapacity)
@@ -119,7 +133,7 @@ func main() {
 			// The hint schemes and the coordinate gossip run on the
 			// measurement topology: dispatch before the (large, unused
 			// here) clustered matrix is built.
-			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed, rec)
+			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed, rec, plan)
 			writeTrace(rec, *tracePath)
 			return
 		default:
@@ -136,7 +150,7 @@ func main() {
 
 	if *runtime {
 		if *algo == "chord" {
-			runWireChord(m, *peers, *queries, *loss, *churn, *seed, rec)
+			runWireChord(m, *peers, *queries, *loss, *churn, *seed, rec, plan)
 			writeTrace(rec, *tracePath)
 			return
 		}
@@ -146,7 +160,7 @@ func main() {
 		row := experiments.RunMessageMeridian(m, gt, members, targets, experiments.RuntimeOpts{
 			Loss: *loss, Beta: *beta, RingSize: *ringSize,
 			Churn: *churn, Queries: *queries, Seed: *seed,
-			Recorder: rec,
+			Recorder: rec, Faults: plan,
 		})
 		fmt.Printf("\nP(exact closest peer)   = %.3f\n", row.PExact)
 		fmt.Printf("P(correct cluster)      = %.3f\n", row.PCluster)
@@ -278,7 +292,7 @@ func writeTrace(rec *obs.Recorder, path string) {
 		rec.Len(), rec.Recorded(), rec.Dropped(), path)
 }
 
-func runWireMitigation(scheme string, peers, queries int, loss float64, churn bool, seed int64, rec *obs.Recorder) {
+func runWireMitigation(scheme string, peers, queries int, loss float64, churn bool, seed int64, rec *obs.Recorder, plan *faults.Plan) {
 	const maxPeers, maxQueries = 600, 300
 	if peers > maxPeers {
 		peers = maxPeers
@@ -292,7 +306,7 @@ func runWireMitigation(scheme string, peers, queries int, loss float64, churn bo
 		scheme, len(peerSet), maxPeers, maxQueries, queries, loss*100, churn)
 	row := experiments.RunWireMitigation(env, peerSet, experiments.MitigationOpts{
 		Scheme: scheme, Loss: loss, Churn: churn, Queries: queries, Seed: seed,
-		Recorder: rec,
+		Recorder: rec, Faults: plan,
 	})
 	fmt.Printf("\nfound any peer          = %.2f\n", row.Found)
 	fmt.Printf("P(peer within 10 ms)    = %.3f (over %d queries with a live near peer)\n", row.PNear, row.NearDenom)
@@ -309,7 +323,7 @@ func runWireMitigation(scheme string, peers, queries int, loss float64, churn bo
 
 // runWireChord exercises the message-level Chord substrate by itself on
 // the clustered matrix: sequential Put+Get pairs from random live nodes.
-func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool, seed int64, rec *obs.Recorder) {
+func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool, seed int64, rec *obs.Recorder, plan *faults.Plan) {
 	const maxOps = 500
 	if queries > maxOps {
 		queries = maxOps
@@ -318,7 +332,7 @@ func runWireChord(m latency.Matrix, peers, queries int, loss float64, churn bool
 		queries, maxOps, loss*100, churn)
 	row := experiments.RunWireChord(m, experiments.WireChordOpts{
 		Nodes: peers, Ops: queries, Loss: loss, Churn: churn, Seed: seed,
-		Recorder: rec,
+		Recorder: rec, Faults: plan,
 	})
 	fmt.Printf("\nring size               = %d nodes\n", row.Nodes)
 	fmt.Printf("put acknowledged        = %.3f\n", row.PutOK)

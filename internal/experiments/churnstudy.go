@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/engine"
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/meridian"
 	"nearestpeer/internal/obs"
@@ -44,6 +45,9 @@ type RuntimeOpts struct {
 	// flight recorder (npsim -trace). It is passive: results are
 	// byte-identical with or without it.
 	Recorder *obs.Recorder
+	// Faults, when non-nil, installs the deterministic fault plan on the
+	// runtime (npsim -faults). A nil plan injects nothing.
+	Faults *faults.Plan
 }
 
 // ChurnRow is one condition's scores, static or message-level.
@@ -95,6 +99,9 @@ func RunMessageMeridian(m latency.Matrix, gt *latency.GroundTruth, members, targ
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
 	if opts.Recorder != nil {
 		rt.AttachRecorder(opts.Recorder)
+	}
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
 	}
 	merCfg := p2p.DefaultMeridianConfig()
 	if opts.Beta > 0 {

@@ -88,6 +88,22 @@ func TestGoldenQuickFigures(t *testing.T) {
 		}
 		checkGolden(t, "golden_o1_quick.txt", serial)
 	})
+	// r1 runs at two worker counts as well: the robustness figure is the
+	// acceptance artifact of the fault plane, and every fault decision is
+	// a stateless hash, so the figure must not move by a byte across
+	// -workers (each cell is one serial kernel, so -shards is trivially
+	// invariant too).
+	t.Run("r1", func(t *testing.T) {
+		prev := engine.SetWorkers(1)
+		defer engine.SetWorkers(prev)
+		serial := FaultStudy(Quick, 1).Render()
+		engine.SetWorkers(8)
+		parallel := FaultStudy(Quick, 1).Render()
+		if serial != parallel {
+			t.Fatalf("r1 differs between -workers=1 and -workers=8:\n--- w=1 ---\n%s\n--- w=8 ---\n%s", serial, parallel)
+		}
+		checkGolden(t, "golden_r1_quick.txt", serial)
+	})
 	// v1 runs at two worker counts like c1: the acceptance bar for the
 	// Vivaldi study is byte-identical output across -workers, witnessed by
 	// the same golden.

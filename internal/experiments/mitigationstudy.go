@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nearestpeer/internal/engine"
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/ipprefix"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/measure"
@@ -124,6 +125,9 @@ type MitigationOpts struct {
 	// flight recorder (npsim -trace). It is passive: results are
 	// byte-identical with or without it.
 	Recorder *obs.Recorder
+	// Faults, when non-nil, installs the deterministic fault plan on the
+	// runtime (npsim -faults). A nil plan injects nothing.
+	Faults *faults.Plan
 }
 
 // MitigationRow is one condition's scores, static or message-level.
@@ -311,6 +315,9 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
 	if opts.Recorder != nil {
 		rt.AttachRecorder(opts.Recorder)
+	}
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
 	}
 	ccfg := p2p.DefaultChordConfig()
 	ccfg.Horizon = opts.Horizon

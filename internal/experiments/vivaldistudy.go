@@ -433,6 +433,9 @@ func runWireVivaldiMitigation(env *Env, peers []netmodel.HostID, opts Mitigation
 	if opts.Recorder != nil {
 		rt.AttachRecorder(opts.Recorder)
 	}
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
+	}
 	wcfg := vivaldi.DefaultWireConfig()
 	wcfg.Horizon = opts.Horizon
 	w := vivaldi.NewWire(rt, wcfg, opts.Seed+1)

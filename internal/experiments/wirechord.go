@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/netmodel"
 	"nearestpeer/internal/obs"
@@ -49,6 +50,10 @@ type WireChordOpts struct {
 	// flight recorder (npsim -trace). It is passive: results are
 	// byte-identical with or without it.
 	Recorder *obs.Recorder
+	// Faults, when non-nil, installs the deterministic fault plan on the
+	// runtime (npsim -faults). Link-fault plans work on the sharded path
+	// too; crash rules are serial-only (the transport rejects them).
+	Faults *faults.Plan
 	// Shards, when >= 1, runs the ring on a sharded kernel with that many
 	// shards (Top required; loss, churn and the recorder are serial-only).
 	// Results are byte-identical at every shard count — including 1, which
@@ -98,6 +103,9 @@ func RunWireChord(m latency.Matrix, opts WireChordOpts) WireChordRow {
 	}
 	kernel := sim.New()
 	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
+	}
 	if opts.Recorder != nil {
 		rt.AttachRecorder(opts.Recorder)
 	}
@@ -229,6 +237,9 @@ func runWireChordSharded(opts WireChordOpts) WireChordRow {
 		ms[s] = (&latency.FullTopologyMatrix{Top: top}).EnableRTTCache(0)
 	}
 	rt := p2p.NewSharded(shk, ms, p2p.Config{}, opts.Seed, top.ShardByPoP(k))
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
+	}
 	ccfg := opts.Chord
 	if ccfg.StabilizeEvery <= 0 {
 		ccfg = p2p.DefaultChordConfig()

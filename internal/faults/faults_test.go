@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSetContains(t *testing.T) {
+	cases := []struct {
+		s    Set
+		id   int
+		want bool
+	}{
+		{Everyone(), 0, true},
+		{Everyone(), 99, true},
+		{Range(2, 5), 2, true},
+		{Range(2, 5), 5, true},
+		{Range(2, 5), 6, false},
+		{List(1, 3), 3, true},
+		{List(1, 3), 2, false},
+		{Set{}, 0, false}, // empty
+	}
+	for i, c := range cases {
+		if got := c.s.Contains(c.id); got != c.want {
+			t.Errorf("case %d: Contains(%d) = %v, want %v", i, c.id, got, c.want)
+		}
+	}
+	if !(Set{}).Empty() || Everyone().Empty() || Range(0, 3).Empty() || List(7).Empty() {
+		t.Error("Empty misclassifies")
+	}
+}
+
+// TestDecideDeterminism: Decide is a pure function — identical plans give
+// identical verdicts regardless of call order or repetition, and different
+// seeds give different burst patterns.
+func TestDecideDeterminism(t *testing.T) {
+	mk := func(seed int64) *Plan {
+		return &Plan{Seed: seed, Window: 100 * time.Millisecond, Rules: []Rule{
+			{Kind: LossBurst, At: 0, For: 10 * time.Second, Prob: 0.5, Src: Everyone(), Dst: Everyone()},
+		}}
+	}
+	a, b := mk(7), mk(7)
+	diff := 0
+	for w := 0; w < 50; w++ {
+		now := time.Duration(w) * 100 * time.Millisecond
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				d1 := a.Decide(src, dst, now)
+				d2 := b.Decide(src, dst, now+33*time.Millisecond) // same window
+				if d1 != d2 {
+					t.Fatalf("same plan disagrees at (src=%d dst=%d win=%d)", src, dst, w)
+				}
+				if d1 != mk(8).Decide(src, dst, now) {
+					diff++
+				}
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("seeds 7 and 8 produced identical burst patterns")
+	}
+}
+
+// TestDecideBurstRate: the per-window loss draws hit the configured
+// probability within sampling tolerance.
+func TestDecideBurstRate(t *testing.T) {
+	p := &Plan{Seed: 3, Window: time.Millisecond, Rules: []Rule{
+		{Kind: LossBurst, At: 0, For: time.Hour, Prob: 0.3, Src: Everyone(), Dst: Everyone()},
+	}}
+	drops := 0
+	const trials = 20000
+	for w := 0; w < trials; w++ {
+		if p.Decide(1, 2, time.Duration(w)*time.Millisecond).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / trials
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("burst rate %.3f, want ≈0.30", rate)
+	}
+}
+
+func TestDecideScopes(t *testing.T) {
+	p := &Plan{Seed: 1, Rules: []Rule{
+		{Kind: Blackhole, At: time.Second, For: time.Second, Src: List(1), Dst: List(2)},
+		{Kind: Partition, At: 10 * time.Second, For: time.Second, Src: Range(0, 1), Dst: Range(2, 3)},
+		{Kind: DelaySpike, At: 20 * time.Second, For: time.Second, ExtraMs: 50, Src: Everyone(), Dst: Everyone()},
+		{Kind: Duplicate, At: 30 * time.Second, For: time.Second, Src: Everyone(), Dst: Everyone()},
+	}}
+	mid := 1500 * time.Millisecond
+	if !p.Decide(1, 2, mid).Drop {
+		t.Error("blackhole 1→2 not dropped")
+	}
+	if p.Decide(2, 1, mid).Drop {
+		t.Error("blackhole dropped the reverse direction (must be asymmetric)")
+	}
+	if p.Decide(1, 2, 500*time.Millisecond).Drop || p.Decide(1, 2, 2*time.Second).Drop {
+		t.Error("blackhole active outside its interval")
+	}
+	pm := 10500 * time.Millisecond
+	if !p.Decide(0, 3, pm).Drop || !p.Decide(3, 0, pm).Drop {
+		t.Error("partition must drop both directions")
+	}
+	if p.Decide(0, 1, pm).Drop || p.Decide(2, 3, pm).Drop {
+		t.Error("partition dropped intra-side traffic")
+	}
+	if d := p.Decide(0, 1, 20500*time.Millisecond); d.ExtraMs != 50 {
+		t.Errorf("spike extra = %v, want 50", d.ExtraMs)
+	}
+	if d := p.Decide(0, 1, 30500*time.Millisecond); !d.Dup {
+		t.Error("duplicate window not flagged")
+	}
+	if d := p.Decide(0, 1, 25*time.Second); d != (Decision{}) {
+		t.Errorf("quiet time got verdict %+v", d)
+	}
+	var nilPlan *Plan
+	if d := nilPlan.Decide(0, 1, time.Second); d != (Decision{}) {
+		t.Errorf("nil plan got verdict %+v", d)
+	}
+}
+
+func TestNodeEvents(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Kind: Crash, At: 2 * time.Second, For: time.Second, Nodes: List(3, 1)},
+		{Kind: Crash, At: time.Second, For: 5 * time.Second, Nodes: Range(7, 7)},
+	}}
+	evs := p.NodeEvents(10)
+	want := []NodeEvent{
+		{time.Second, 7, false},
+		{2 * time.Second, 1, false},
+		{2 * time.Second, 3, false},
+		{3 * time.Second, 1, true},
+		{3 * time.Second, 3, true},
+		{6 * time.Second, 7, true},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	if (*Plan)(nil).NodeEvents(10) != nil {
+		t.Error("nil plan must have no node events")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=7;window=250ms;burst:at=5s,for=3s,prob=0.5,src=*,dst=*;partition:at=10s,for=5s,a=0-4,b=5-9;crash:at=16s,for=4s,nodes=7;spike:at=1s,for=2s,extra=80,src=1.3.5,dst=0-9"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Window != 250*time.Millisecond || len(p.Rules) != 4 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Rules[1].Kind != Partition || !p.Rules[1].Src.Contains(4) || p.Rules[1].Src.Contains(5) {
+		t.Errorf("partition rule parsed wrong: %+v", p.Rules[1])
+	}
+	if p.Rules[3].Kind != DelaySpike || p.Rules[3].ExtraMs != 80 || !p.Rules[3].Src.Contains(3) || p.Rules[3].Src.Contains(2) {
+		t.Errorf("spike rule parsed wrong: %+v", p.Rules[3])
+	}
+	rt, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if rt.String() != p.String() {
+		t.Errorf("round trip changed the plan:\n  %s\n  %s", p.String(), rt.String())
+	}
+	// Round-tripped plans decide identically.
+	for w := 0; w < 100; w++ {
+		now := time.Duration(w) * 100 * time.Millisecond
+		if p.Decide(1, 6, now) != rt.Decide(1, 6, now) {
+			t.Fatalf("round-tripped plan disagrees at %v", now)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus",
+		"seed=x",
+		"tornado:at=1s,for=1s",
+		"burst:at=1s,for=1s,prob=1.5",
+		"burst:at=1s",                  // missing for
+		"crash:at=1s,for=1s",           // empty node set
+		"partition:at=1s,for=1s,a=0-4", // empty side b
+		"spike:at=1s,for=1s,extra=-3",
+		"burst:at=1s,for=1s,src=9-2",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad plan", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Plan{Rules: []Rule{{Kind: LossBurst, At: 0, For: time.Second, Prob: 0.2, Src: Everyone(), Dst: Everyone()}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if err := (*Plan)(nil).Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+	badKind := &Plan{Rules: []Rule{{Kind: Kind(99), At: 0, For: time.Second}}}
+	if err := badKind.Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -93,6 +93,10 @@ type ChordConfig struct {
 	// virtual time so a test kernel's queue can drain. 0 stabilizes
 	// forever — drive the kernel with RunUntil or Stop in that case.
 	Horizon time.Duration
+	// Retry is the per-RPC retry policy applied to lookup hops and
+	// store/fetch operations. The zero value (the default) disables
+	// retries, reproducing the historical behavior bit for bit.
+	Retry Policy
 }
 
 // DefaultChordConfig returns the protocol defaults.
@@ -1102,7 +1106,7 @@ func (c *Chord) drive(n *Node, st *chordState, starts []NodeID, key uint64, res 
 		hopStart := c.rt.Now(n.ID)
 		wasRetry := afterTimeout
 		afterTimeout = false
-		n.Request(cur, MsgChordFind, cFindMsg{Key: key}, c.cfg.RPCTimeout,
+		n.RequestPolicy(cur, MsgChordFind, cFindMsg{Key: key}, c.cfg.RPCTimeout, c.cfg.Retry,
 			func(env Envelope) {
 				if !n.Alive() {
 					return
@@ -1207,7 +1211,7 @@ func (c *Chord) opAttempt(n *Node, key string, res *OpResult, attempts int, typ 
 				c.opAttempt(n, key, res, attempts-1, typ, payload, onOK, done)
 				return
 			}
-			n.Request(ts[0], typ, payload, c.cfg.RPCTimeout,
+			n.RequestPolicy(ts[0], typ, payload, c.cfg.RPCTimeout, c.cfg.Retry,
 				func(env Envelope) {
 					onOK(env)
 					done(*res)

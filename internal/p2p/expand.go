@@ -35,6 +35,11 @@ type ExpandConfig struct {
 	// exceed the largest scope or answers arrive after the round closed
 	// (they still count — a late answer resolves the search when it lands).
 	RoundTimeout time.Duration
+	// Retry re-runs the whole expansion (all rounds, after backoff) when
+	// the last round closes unanswered, up to the policy's attempt budget —
+	// the recovery for a burst that ate every found-report. The zero value
+	// (the default) disables it, reproducing the historical behavior.
+	Retry Policy
 }
 
 // DefaultExpandConfig starts at 1 ms and quadruples for five rounds
@@ -80,8 +85,9 @@ type expandSearch struct {
 	sid      uint64
 	client   NodeID
 	round    int
+	attempt  int // completed full sweeps (retry policy)
 	started  time.Duration
-	sentAt   []time.Duration // sentAt[r] = virtual time round r multicast its finds
+	sentAt   []time.Duration // sentAt[tag] = virtual time the tagged multicast went out
 	messages int
 	done     func(ExpandResult)
 }
@@ -167,6 +173,15 @@ func (e *Expanding) runRound(s *expandSearch) {
 		return
 	}
 	if s.round >= e.cfg.Rounds {
+		if s.attempt+1 < e.cfg.Retry.Attempts {
+			// Every round of this sweep closed unanswered: back off and
+			// re-run the expansion from the smallest scope.
+			s.attempt++
+			s.round = 0
+			e.rt.metricsAt(s.client).Retries++
+			e.rt.After(s.client, e.cfg.Retry.backoff(s.client, s.sid, s.attempt), func() { e.runRound(s) })
+			return
+		}
 		e.byClient[s.client].active = nil
 		s.done(ExpandResult{Peer: -1, Rounds: e.cfg.Rounds, Messages: s.messages, Elapsed: e.rt.Now(s.client) - s.started, Found: false})
 		return
@@ -175,8 +190,11 @@ func (e *Expanding) runRound(s *expandSearch) {
 	for i := 0; i < s.round; i++ {
 		radius *= e.cfg.RadiusMult
 	}
+	// The answer echoes this tag to index sentAt; it is sweep-global (not
+	// the per-sweep round) so a retried sweep's rounds get fresh slots.
+	tag := len(s.sentAt)
 	s.sentAt = append(s.sentAt, e.rt.Now(s.client))
-	s.messages += e.rt.Multicast(s.client, ExpandGroup, MsgFind, findMsg{SID: s.sid, From: s.client, Round: s.round}, radius)
+	s.messages += e.rt.Multicast(s.client, ExpandGroup, MsgFind, findMsg{SID: s.sid, From: s.client, Round: tag}, radius)
 	s.round++
 	e.rt.After(s.client, e.cfg.RoundTimeout, func() { e.runRound(s) })
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/obs"
 	"nearestpeer/internal/sim"
 )
@@ -118,13 +119,23 @@ type liveBase struct {
 	metrics Metrics
 
 	obsRec *obs.Recorder
+
+	// flt is the optional fault plan (NewFaultTransport), nil by default.
+	// Decisions are priced against wall-clock time since the transport
+	// started — the live zero matching the simulator's virtual zero — so
+	// the same plan seed produces the same per-window fault sequence on
+	// both. Loop-confined once traffic flows (send runs on the loop).
+	flt *faults.Plan
 }
 
 func (b *liveBase) init(self Transport, pop int, cfg Config) {
 	if pop <= 0 {
 		panic(fmt.Sprintf("p2p: live transport population %d", pop))
 	}
-	if cfg.RPCTimeout <= 0 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = DefaultConfig().RPCTimeout
 	}
 	b.self = self
@@ -322,6 +333,42 @@ func (b *liveBase) metricsAt(NodeID) *Metrics { return &b.metrics }
 
 // noteLive adjusts the live-node count (Node.Stop/Restart bookkeeping).
 func (b *liveBase) noteLive(delta int) { b.live.Add(int64(delta)) }
+
+// installFaults attaches a fault plan (see NewFaultTransport): the
+// medium's send hook reads b.flt, and the plan's crash/restart schedule
+// is armed as wall-clock timers measured from the transport's start.
+// Install before traffic flows.
+func (b *liveBase) installFaults(plan *faults.Plan) {
+	if plan == nil {
+		return
+	}
+	if err := plan.Validate(); err != nil {
+		panic(fmt.Sprintf("p2p: fault plan: %v", err))
+	}
+	b.flt = plan
+	now := time.Since(b.start)
+	for _, ev := range plan.NodeEvents(b.pop) {
+		ev := ev
+		d := ev.At - now
+		if d < 0 {
+			d = 0
+		}
+		b.After(NodeID(ev.Node), d, func() {
+			n := b.Node(NodeID(ev.Node))
+			if n == nil {
+				return
+			}
+			if ev.Up {
+				n.Restart()
+			} else {
+				n.Stop()
+			}
+		})
+	}
+}
+
+// faultNow is the plan clock of a live transport: wall time since start.
+func (b *liveBase) faultNow() time.Duration { return time.Since(b.start) }
 
 // oneWayDelay splits an RTT into the two legs the simulator uses: the
 // request leg gets rtt/2 rounded down, the response leg the remainder, so

@@ -3,6 +3,7 @@ package p2p
 import (
 	"time"
 
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/rng"
 )
@@ -42,7 +43,20 @@ func (lb *Loopback) send(env Envelope) {
 		lb.metrics.MsgsLost++
 		return
 	}
+	var fd faults.Decision
+	if lb.flt != nil {
+		fd = lb.flt.Decide(int(env.From), int(env.To), lb.faultNow())
+		if fd.Drop {
+			lb.metrics.MsgsLost++
+			lb.metrics.FaultDropped++
+			return
+		}
+	}
 	d := oneWayDelay(lb.m.LatencyMs(int(env.From), int(env.To)), env.Resp)
+	if fd.ExtraMs > 0 {
+		d += durOf(fd.ExtraMs)
+		lb.metrics.FaultDelayed++
+	}
 	deliver := func() {
 		lb.loop.post(func() {
 			n := lb.Node(env.To)
@@ -54,11 +68,19 @@ func (lb *Loopback) send(env Envelope) {
 			n.deliver(env)
 		})
 	}
-	if d <= 0 {
-		deliver()
-		return
+	copies := 1
+	if fd.Dup {
+		copies = 2
+		lb.metrics.MsgsSent++
+		lb.metrics.FaultDuplicated++
 	}
-	time.AfterFunc(d, func() { deliver() })
+	for c := 0; c < copies; c++ {
+		if d <= 0 {
+			deliver()
+			continue
+		}
+		time.AfterFunc(d, func() { deliver() })
+	}
 }
 
 // Multicast sends one-way copies of a message to every live group member

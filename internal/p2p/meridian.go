@@ -56,6 +56,10 @@ type MeridianConfig struct {
 	QueryDeadline time.Duration
 	// MaxHops caps query forwarding, a loop backstop.
 	MaxHops int
+	// Retry is the per-RPC retry policy applied to query handoffs and
+	// ring-member probes. The zero value (the default) disables retries,
+	// reproducing the historical behavior bit for bit.
+	Retry Policy
 }
 
 // DefaultMeridianConfig mirrors the static paper parameters plus runtime
@@ -403,7 +407,7 @@ func (m *Meridian) startQuery(n *Node, q queryMsg, attempts int) {
 		return
 	}
 	start := m.order[m.src.Intn(len(m.order))]
-	n.Request(start, MsgQuery, q, m.cfg.RPCTimeout,
+	n.RequestPolicy(start, MsgQuery, q, m.cfg.RPCTimeout, m.cfg.Retry,
 		func(Envelope) {},
 		func() { m.startQuery(n, q, attempts-1) })
 }
@@ -489,7 +493,9 @@ func (m *Meridian) probePhase(n *Node, st *meridianState, q queryMsg) {
 	}
 	var cands []NodeID
 	for _, c := range st.ringPeers() {
-		if l := st.ringLat[c]; l >= lo && l <= hi && !visited[c] {
+		// Suspect peers (repeated exhausted retries) are demoted out of the
+		// probe set; with retries disabled Suspect is always false.
+		if l := st.ringLat[c]; l >= lo && l <= hi && !visited[c] && !n.Suspect(c, m.cfg.Retry) {
 			cands = append(cands, c)
 		}
 	}
@@ -519,7 +525,7 @@ func (m *Meridian) probePhase(n *Node, st *meridianState, q queryMsg) {
 	}
 	for _, c := range cands {
 		c := c
-		n.Request(c, MsgProbe, probeMsg{Target: q.Target}, m.cfg.RPCTimeout,
+		n.RequestPolicy(c, MsgProbe, probeMsg{Target: q.Target}, m.cfg.RPCTimeout, m.cfg.Retry,
 			func(rep Envelope) {
 				pm := rep.Payload.(probeOKMsg)
 				if pm.OK {
@@ -558,7 +564,7 @@ func (m *Meridian) advanceFrom(n *Node, q queryMsg, reports []probeReport, alter
 	fwd.D = next.rtt
 	fwd.Hops++
 	hopStart := m.rt.Now(n.ID)
-	n.Request(next.id, MsgQuery, fwd, m.cfg.RPCTimeout,
+	n.RequestPolicy(next.id, MsgQuery, fwd, m.cfg.RPCTimeout, m.cfg.Retry,
 		func(Envelope) {
 			if rec := m.rt.FlightRecorder(); rec != nil {
 				out := obs.HopOK

@@ -29,6 +29,15 @@ type Node struct {
 	alive    bool
 	handlers map[string]Handler
 	inflight map[uint64]call
+
+	// retrySeq numbers RequestPolicy calls for deterministic jitter; gen
+	// counts Stop/Restart transitions so parked retry timers from a
+	// previous life abort instead of resurrecting stale request chains.
+	// suspicion tallies consecutive exhausted retry calls per peer (see
+	// policy.go); nil until the retry layer first needs it.
+	retrySeq  uint64
+	gen       uint64
+	suspicion map[NodeID]int
 }
 
 // Alive reports whether the node is up.
@@ -50,6 +59,8 @@ func (n *Node) Stop() {
 	}
 	n.alive = false
 	n.inflight = make(map[uint64]call)
+	n.gen++
+	n.suspicion = nil
 }
 
 // Restart brings a stopped node back up with its handlers intact and no
@@ -60,6 +71,8 @@ func (n *Node) Restart() {
 	}
 	n.alive = true
 	n.inflight = make(map[uint64]call)
+	n.gen++
+	n.suspicion = nil
 }
 
 // Send transmits a one-way message (no correlation, no timeout) and

@@ -1,0 +1,163 @@
+// The retry policy layer: per-RPC retry-with-backoff on top of Node's
+// single-attempt Request. The zero Policy disables everything — a call
+// through RequestPolicy with a zero policy is bit-for-bit a plain Request,
+// which is what keeps the unfaulted goldens byte-identical — and an
+// enabled policy re-issues the request after deterministic backoff when an
+// attempt times out, so a loss burst costs one backoff instead of a failed
+// operation.
+//
+// Determinism: the jitter draw is a stateless hash of (node, call
+// sequence, attempt) — no shared RNG stream — so retry timing is
+// identical at any shard count and across runs, and the simulator's
+// virtual-time behavior matches the live transports given the same call
+// sequence.
+
+package p2p
+
+import "time"
+
+// Policy configures per-RPC retries. The zero value disables retries
+// (one attempt, caller's timeout), so embedding a Policy in a protocol
+// config never changes behavior until a caller opts in.
+type Policy struct {
+	// Attempts is the total number of tries; values below 2 mean a single
+	// attempt (retries disabled).
+	Attempts int
+	// BaseBackoff is the wait before the second attempt (default 50 ms
+	// when enabled with none set).
+	BaseBackoff time.Duration
+	// Multiplier grows the backoff per attempt (default 2 when < 1).
+	Multiplier float64
+	// JitterFrac spreads each backoff by ±JitterFrac of itself, drawn
+	// deterministically from (node, call, attempt).
+	JitterFrac float64
+	// PerTryTimeout bounds each attempt; 0 uses the caller's timeout
+	// (and, through it, the transport default).
+	PerTryTimeout time.Duration
+	// DemoteAfter is how many consecutive exhausted calls mark a peer
+	// suspect (Node.Suspicion); 0 means the default of 2.
+	DemoteAfter int
+}
+
+// Enabled reports whether the policy actually retries.
+func (p Policy) Enabled() bool { return p.Attempts > 1 }
+
+// demoteAfter is the suspicion threshold with the default applied.
+func (p Policy) demoteAfter() int {
+	if p.DemoteAfter > 0 {
+		return p.DemoteAfter
+	}
+	return 2
+}
+
+// retryMix hashes (node, call sequence, attempt) to [0, 1) — the same
+// splitmix-style finalizer the fault plane uses, so jitter needs no
+// stateful RNG and is identical on every transport and shard count.
+func retryMix(vals ...uint64) float64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		x ^= (v + 1) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 30)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return float64(x>>11) / (1 << 53)
+}
+
+// backoff prices the wait before attempt+1 (attempt counts completed
+// tries, so the first backoff is attempt 1).
+func (p Policy) backoff(id NodeID, seq uint64, attempt int) time.Duration {
+	b := p.BaseBackoff
+	if b <= 0 {
+		b = 50 * time.Millisecond
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(b)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+	}
+	if p.JitterFrac > 0 {
+		u := retryMix(uint64(id), seq, uint64(attempt))
+		d *= 1 + p.JitterFrac*(2*u-1)
+	}
+	return time.Duration(d)
+}
+
+// RequestPolicy is Request with a retry policy: a disabled policy issues
+// exactly one attempt with the given timeout (or the policy's per-try
+// timeout when set); an enabled one re-issues the request after backoff
+// each time an attempt times out, up to the attempt budget. onReply fires
+// on the first response; onTimeout fires once, after the last attempt
+// expires. A reply clears the peer's suspicion tally, a fully exhausted
+// call increments it (Suspicion). Retry timers die across Stop/Restart —
+// a node that crashed mid-backoff does not resurrect old request chains.
+// The returned MsgID is the first attempt's.
+func (n *Node) RequestPolicy(to NodeID, typ string, payload any, timeout time.Duration, pol Policy, onReply func(Envelope), onTimeout func()) uint64 {
+	perTry := timeout
+	if pol.PerTryTimeout > 0 {
+		perTry = pol.PerTryTimeout
+	}
+	if !pol.Enabled() {
+		return n.Request(to, typ, payload, perTry, onReply, onTimeout)
+	}
+	n.retrySeq++
+	seq := n.retrySeq
+	gen := n.gen
+	wrapReply := func(env Envelope) {
+		n.clearSuspicion(to)
+		if onReply != nil {
+			onReply(env)
+		}
+	}
+	var attempt func(k int) uint64
+	attempt = func(k int) uint64 {
+		return n.Request(to, typ, payload, perTry, wrapReply, func() {
+			if k+1 >= pol.Attempts {
+				n.noteSuspicion(to)
+				if onTimeout != nil {
+					onTimeout()
+				}
+				return
+			}
+			n.rt.After(n.ID, pol.backoff(n.ID, seq, k+1), func() {
+				if n.gen != gen || !n.alive {
+					return // crashed or restarted since: the chain dies here
+				}
+				n.rt.metricsAt(n.ID).Retries++
+				if r, ok := n.rt.(*Runtime); ok && r.obsReg != nil {
+					r.obsReg.NoteRetry()
+				}
+				attempt(k + 1)
+			})
+		})
+	}
+	return attempt(0)
+}
+
+// noteSuspicion tallies one fully exhausted call against a peer.
+func (n *Node) noteSuspicion(peer NodeID) {
+	if n.suspicion == nil {
+		n.suspicion = make(map[NodeID]int)
+	}
+	n.suspicion[peer]++
+}
+
+// clearSuspicion resets a peer's tally (it answered).
+func (n *Node) clearSuspicion(peer NodeID) {
+	if n.suspicion != nil {
+		delete(n.suspicion, peer)
+	}
+}
+
+// Suspicion returns how many consecutive RequestPolicy calls to peer
+// exhausted every attempt without an answer. Protocols use it to demote
+// repeatedly failing peers (try them last, or not at all).
+func (n *Node) Suspicion(peer NodeID) int { return n.suspicion[peer] }
+
+// Suspect reports whether peer has crossed the policy's demotion
+// threshold.
+func (n *Node) Suspect(peer NodeID, pol Policy) bool {
+	return pol.Enabled() && n.Suspicion(peer) >= pol.demoteAfter()
+}

@@ -1,0 +1,154 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/faults"
+	"nearestpeer/internal/sim"
+)
+
+// TestRequestPolicyZeroIsPlainRequest: a zero policy is one attempt with
+// the caller's timeout — no retries charged, behavior identical to Request.
+func TestRequestPolicyZeroIsPlainRequest(t *testing.T) {
+	k := sim.New()
+	r := New(k, faultTestMatrix(2), DefaultConfig(), 1)
+	n0 := r.AddNode(0)
+	r.AddNode(1)
+	replies := 0
+	k.At(0, func() {
+		n0.RequestPolicy(1, MsgPing, nil, 300*time.Millisecond, Policy{},
+			func(Envelope) { replies++ }, func() { t.Error("timeout on a healthy link") })
+	})
+	k.Run()
+	if replies != 1 {
+		t.Fatalf("replies = %d, want 1", replies)
+	}
+	if m := r.TotalMetrics(); m.Retries != 0 {
+		t.Errorf("zero policy charged %d retries", m.Retries)
+	}
+}
+
+// TestRequestPolicyRetriesThroughBurst: a total black-hole that ends
+// mid-call is survived by a policy whose backoff reaches past it, and the
+// extra attempts are charged to Retries.
+func TestRequestPolicyRetriesThroughBurst(t *testing.T) {
+	plan := &faults.Plan{Seed: 2, Rules: []faults.Rule{
+		{Kind: faults.Blackhole, At: 0, For: 1 * time.Second, Src: faults.List(0), Dst: faults.List(1)},
+	}}
+	k := sim.New()
+	r := New(k, faultTestMatrix(2), DefaultConfig(), 1)
+	NewFaultTransport(r, plan)
+	n0 := r.AddNode(0)
+	r.AddNode(1)
+	pol := Policy{Attempts: 4, BaseBackoff: 400 * time.Millisecond, Multiplier: 2}
+	var ok, timedOut bool
+	k.At(0, func() {
+		n0.RequestPolicy(1, MsgPing, nil, 200*time.Millisecond, pol,
+			func(Envelope) { ok = true }, func() { timedOut = true })
+	})
+	k.Run()
+	if !ok || timedOut {
+		t.Fatalf("ok=%v timedOut=%v, want the retry chain to outlive the black-hole", ok, timedOut)
+	}
+	m := r.TotalMetrics()
+	if m.Retries == 0 {
+		t.Error("no retries charged")
+	}
+	if m.Timeouts == 0 {
+		t.Error("the black-holed attempts should have timed out")
+	}
+}
+
+// TestRequestPolicyExhaustion: when every attempt dies, onTimeout fires
+// exactly once and the peer's suspicion tally rises; an answered call
+// clears it.
+func TestRequestPolicyExhaustion(t *testing.T) {
+	plan := &faults.Plan{Seed: 2, Rules: []faults.Rule{
+		{Kind: faults.Blackhole, At: 0, For: 30 * time.Second, Src: faults.List(0), Dst: faults.List(1)},
+	}}
+	k := sim.New()
+	r := New(k, faultTestMatrix(3), DefaultConfig(), 1)
+	NewFaultTransport(r, plan)
+	n0 := r.AddNode(0)
+	r.AddNode(1)
+	r.AddNode(2)
+	pol := Policy{Attempts: 3, BaseBackoff: 100 * time.Millisecond}
+	timeouts := 0
+	k.At(0, func() {
+		n0.RequestPolicy(1, MsgPing, nil, 100*time.Millisecond, pol,
+			func(Envelope) { t.Error("reply through a black-hole") }, func() { timeouts++ })
+	})
+	k.Run()
+	if timeouts != 1 {
+		t.Fatalf("onTimeout fired %d times, want exactly 1", timeouts)
+	}
+	if got := n0.Suspicion(1); got != 1 {
+		t.Errorf("Suspicion(1) = %d, want 1", got)
+	}
+	if n0.Suspect(1, pol) {
+		t.Error("one exhausted call should not cross the default threshold of 2")
+	}
+	// A second exhausted call crosses it; an answered call to 2 clears 2.
+	k.After(0, func() {
+		n0.RequestPolicy(1, MsgPing, nil, 100*time.Millisecond, pol, nil, nil)
+		n0.RequestPolicy(2, MsgPing, nil, 100*time.Millisecond, pol, nil, nil)
+	})
+	k.Run()
+	if !n0.Suspect(1, pol) {
+		t.Errorf("Suspicion(1) = %d after two exhausted calls, want suspect", n0.Suspicion(1))
+	}
+	if n0.Suspicion(2) != 0 {
+		t.Errorf("Suspicion(2) = %d after an answered call, want 0", n0.Suspicion(2))
+	}
+	if n0.Suspect(1, Policy{}) {
+		t.Error("a disabled policy must never report suspects")
+	}
+}
+
+// TestRequestPolicyChainDiesAcrossRestart: a retry timer parked when the
+// node crashes (or restarts) must not fire an attempt in the next life.
+func TestRequestPolicyChainDiesAcrossRestart(t *testing.T) {
+	plan := &faults.Plan{Seed: 2, Rules: []faults.Rule{
+		{Kind: faults.Blackhole, At: 0, For: 30 * time.Second, Src: faults.List(0), Dst: faults.List(1)},
+	}}
+	k := sim.New()
+	r := New(k, faultTestMatrix(2), DefaultConfig(), 1)
+	NewFaultTransport(r, plan)
+	n0 := r.AddNode(0)
+	r.AddNode(1)
+	pol := Policy{Attempts: 5, BaseBackoff: 500 * time.Millisecond}
+	k.At(0, func() {
+		n0.RequestPolicy(1, MsgPing, nil, 200*time.Millisecond, pol, nil, nil)
+	})
+	// Restart lands inside the first backoff window (timeout 200 ms +
+	// backoff 500 ms): the chain must not continue into the new life.
+	k.At(400*time.Millisecond, func() { n0.Stop() })
+	k.At(450*time.Millisecond, func() { n0.Restart() })
+	k.Run()
+	m := r.TotalMetrics()
+	if m.Retries != 0 {
+		t.Errorf("retry chain survived a restart: %d retries charged", m.Retries)
+	}
+}
+
+// TestPolicyBackoffDeterminism: the backoff schedule is a pure function
+// of (policy, node, sequence, attempt) — and jitter actually spreads it.
+func TestPolicyBackoffDeterminism(t *testing.T) {
+	pol := Policy{Attempts: 4, BaseBackoff: 100 * time.Millisecond, Multiplier: 2, JitterFrac: 0.2}
+	for attempt := 1; attempt <= 3; attempt++ {
+		a := pol.backoff(7, 42, attempt)
+		b := pol.backoff(7, 42, attempt)
+		if a != b {
+			t.Fatalf("backoff(attempt=%d) not deterministic: %v vs %v", attempt, a, b)
+		}
+		base := float64(100*time.Millisecond) * float64(int(1)<<(attempt-1))
+		lo, hi := time.Duration(0.8*base), time.Duration(1.2*base)
+		if a < lo || a > hi {
+			t.Errorf("backoff(attempt=%d) = %v outside [%v, %v]", attempt, a, lo, hi)
+		}
+	}
+	if pol.backoff(7, 42, 1) == pol.backoff(7, 43, 1) {
+		t.Error("jitter identical across call sequences")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/obs"
 	"nearestpeer/internal/rng"
@@ -70,6 +71,13 @@ type Runtime struct {
 	// or ring write — the send path stays allocation-free either way.
 	obsReg *obs.Registry
 	obsRec *obs.Recorder
+
+	// flt is the optional fault plan (NewFaultTransport). Like the obs
+	// hooks it is nil by default and costs one nil compare per message, so
+	// a runtime without faults reproduces the unfaulted figures bit for
+	// bit. Decisions are stateless per (src, dst, window) hashes, so they
+	// are identical at every shard count.
+	flt *faults.Plan
 
 	// liveCount tracks the live node population for the health sampler.
 	liveCount int
@@ -141,10 +149,10 @@ func (r *Runtime) initShard(s int, kernel *sim.Sim, m latency.Matrix, met *Metri
 // the loss model; protocol randomness comes from the protocols' own
 // streams.
 func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
-	if cfg.LossProb < 0 || cfg.LossProb > 1 {
-		panic(fmt.Sprintf("p2p: loss probability %v out of [0,1]", cfg.LossProb))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	if cfg.RPCTimeout <= 0 {
+	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = DefaultConfig().RPCTimeout
 	}
 	r := &Runtime{
@@ -170,10 +178,13 @@ func New(kernel *sim.Sim, m latency.Matrix, cfg Config, seed int64) *Runtime {
 // lossless. Observability hooks (EnableObs, AttachRecorder,
 // StartHealthSampler) are likewise serial-only.
 func NewSharded(shk *sim.Sharded, ms []latency.Matrix, cfg Config, seed int64, shardOf []int32) *Runtime {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.LossProb != 0 {
 		panic("p2p: sharded runtime does not support the loss model")
 	}
-	if cfg.RPCTimeout <= 0 {
+	if cfg.RPCTimeout == 0 {
 		cfg.RPCTimeout = DefaultConfig().RPCTimeout
 	}
 	k := shk.K()
@@ -702,6 +713,10 @@ func (r *Runtime) TotalMetrics() Metrics {
 		t.ExpiriesScheduled += m.ExpiriesScheduled
 		t.ExpiriesFired += m.ExpiriesFired
 		t.Timeouts += m.Timeouts
+		t.FaultDropped += m.FaultDropped
+		t.FaultDelayed += m.FaultDelayed
+		t.FaultDuplicated += m.FaultDuplicated
+		t.Retries += m.Retries
 	}
 	return t
 }
@@ -803,11 +818,51 @@ func (r *Runtime) send(env Envelope) {
 		sc.metrics.MsgsLost++
 		return
 	}
+	var fd faults.Decision
+	if r.flt != nil {
+		fd = r.flt.Decide(int(env.From), int(env.To), sc.sim.Now())
+		if fd.Drop {
+			sc.metrics.MsgsLost++
+			sc.metrics.FaultDropped++
+			if r.obsReg != nil {
+				r.obsReg.NoteFaultDrop()
+			}
+			return
+		}
+	}
 	rtt := durOf(sc.m.LatencyMs(int(env.From), int(env.To)))
 	oneWay := rtt / 2
 	if env.Resp {
 		oneWay = rtt - rtt/2
 	}
+	if fd.ExtraMs > 0 {
+		// Extra fault delay only ever lengthens the one-way time, so the
+		// cross-shard lookahead inequality below cannot be violated by it.
+		oneWay += durOf(fd.ExtraMs)
+		sc.metrics.FaultDelayed++
+		if r.obsReg != nil {
+			r.obsReg.NoteFaultDelay()
+		}
+	}
+	r.scheduleDelivery(ss, oneWay, env)
+	if fd.Dup {
+		sc.metrics.MsgsSent++
+		sc.metrics.FaultDuplicated++
+		if r.obsReg != nil {
+			r.obsReg.NoteSend(int(env.From), env.Type)
+			r.obsReg.NoteFaultDup()
+		}
+		r.scheduleDelivery(ss, oneWay, env)
+	}
+}
+
+// scheduleDelivery prices nothing: it takes a final one-way delay and
+// parks the envelope for delivery — directly into the sender's shard
+// kernel when the destination is home, into the cross-shard mailbox
+// otherwise. Split from send so the fault plane's duplicate copies go
+// through the identical path as the original.
+func (r *Runtime) scheduleDelivery(ss int, oneWay time.Duration, env Envelope) {
+	sc := &r.sh[ss]
 	ds := r.shardIdx(env.To)
 	if ds == ss {
 		sc.sim.AfterHandler(oneWay, sc.deliverH, uint64(r.slabPut(ss, env)))
@@ -819,6 +874,44 @@ func (r *Runtime) send(env Envelope) {
 			at, end, oneWay, r.window))
 	}
 	r.cross[ss*len(r.sh)+ds] = append(r.cross[ss*len(r.sh)+ds], crossMsg{at: at, env: env})
+}
+
+// installFaults attaches a fault plan (see NewFaultTransport): link
+// decisions hook the send path, and the plan's crash/restart schedule is
+// compiled to kernel events up front. Crash rules are serial-only: the
+// Stop/Restart bookkeeping touches the runtime-wide live count, which
+// shard goroutines must not race on (link faults are per-shard pure and
+// work at any shard count). Install before the run starts.
+func (r *Runtime) installFaults(plan *faults.Plan) {
+	if plan == nil {
+		return
+	}
+	if err := plan.Validate(); err != nil {
+		panic(fmt.Sprintf("p2p: fault plan: %v", err))
+	}
+	evs := plan.NodeEvents(r.m.N())
+	if len(evs) > 0 && r.shk != nil {
+		panic("p2p: fault-plan crash rules require a serial runtime")
+	}
+	r.flt = plan
+	for _, ev := range evs {
+		ev := ev
+		d := ev.At - r.Kernel.Now()
+		if d < 0 {
+			d = 0
+		}
+		r.Kernel.After(d, func() {
+			n := r.node(NodeID(ev.Node))
+			if n == nil {
+				return
+			}
+			if ev.Up {
+				n.Restart()
+			} else {
+				n.Stop()
+			}
+		})
+	}
 }
 
 // drainCross is the sharded kernel's between-windows hook: it moves every

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nearestpeer/internal/faults"
 	"nearestpeer/internal/latency"
 	"nearestpeer/internal/rng"
 )
@@ -94,11 +95,40 @@ func (u *UDP) Listen(id NodeID, addr string) (string, error) {
 		return "", fmt.Errorf("p2p: node %d already listening", id)
 	}
 	u.conns[id] = conn
+	delete(u.peers, id) // local again: a stale learned address must not shadow the socket
 	u.pmu.Unlock()
-	u.AddNode(id)
+	n := u.AddNode(id)
+	u.Do(func() {
+		if !n.alive {
+			n.Restart() // re-Listen after CloseNode revives the node
+		}
+	})
 	u.wg.Add(1)
 	go u.readLoop(id, conn)
 	return conn.LocalAddr().String(), nil
+}
+
+// CloseNode releases a local node's socket and forgets the node was ever
+// local, stopping it on the event loop. Without this, a node that migrates
+// to another process is unreachable forever: addrOf keeps resolving it to
+// the dead local socket, and learnPeer refuses to record the new address
+// because the ID still looks local. After CloseNode the next datagram from
+// the migrated node re-learns its address like any remote peer's, and a
+// later Listen may re-bind the ID locally again.
+func (u *UDP) CloseNode(id NodeID) {
+	u.pmu.Lock()
+	c := u.conns[id]
+	delete(u.conns, id)
+	delete(u.peers, id)
+	u.pmu.Unlock()
+	if c != nil {
+		c.Close() // read loop exits on the closed socket
+	}
+	u.Do(func() {
+		if n := u.Node(id); n != nil && n.alive {
+			n.Stop()
+		}
+	})
 }
 
 // AddPeer names a remote node's address in the peer table.
@@ -161,6 +191,15 @@ func (u *UDP) send(env Envelope) {
 		u.metrics.MsgsLost++
 		return
 	}
+	var fd faults.Decision
+	if u.flt != nil {
+		fd = u.flt.Decide(int(env.From), int(env.To), u.faultNow())
+		if fd.Drop {
+			u.metrics.MsgsLost++
+			u.metrics.FaultDropped++
+			return
+		}
+	}
 	u.pmu.RLock()
 	src := u.conns[env.From]
 	u.pmu.RUnlock()
@@ -174,9 +213,27 @@ func (u *UDP) send(env Envelope) {
 		u.metrics.MsgsDead++
 		return
 	}
-	if _, err := src.WriteToUDP(frame, dst); err != nil {
-		u.metrics.MsgsDead++
+	copies := 1
+	if fd.Dup {
+		copies = 2
+		u.metrics.MsgsSent++
+		u.metrics.FaultDuplicated++
 	}
+	// write may run off-loop (the delayed path), so error accounting posts
+	// back to the loop rather than touching loop-confined metrics directly.
+	write := func() {
+		for c := 0; c < copies; c++ {
+			if _, err := src.WriteToUDP(frame, dst); err != nil {
+				u.loop.post(func() { u.metrics.MsgsDead++ })
+			}
+		}
+	}
+	if fd.ExtraMs > 0 {
+		u.metrics.FaultDelayed++
+		time.AfterFunc(durOf(fd.ExtraMs), write)
+		return
+	}
+	write()
 }
 
 // Multicast is unsupported on UDP: with no link oracle there is no

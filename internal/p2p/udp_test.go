@@ -285,3 +285,86 @@ func TestUDPCrossProcessStyle(t *testing.T) {
 		t.Fatal("server lost its bound address")
 	}
 }
+
+// TestUDPCloseNodeRelearn: a node migrating to another process is
+// unreachable from its old host until that host forgets the node's
+// socket. Phase 1 pins the failure mode CloseNode exists to fix: while
+// the stale local socket lingers, learnPeer refuses the migrated node's
+// new address (the ID still looks local) and replies are routed to the
+// dead socket, so the migrated node's requests time out. Phase 2: after
+// CloseNode, the very next datagram re-learns the address like any
+// remote peer's and the round trip completes.
+func TestUDPCloseNodeRelearn(t *testing.T) {
+	cfg := Config{RPCTimeout: 500 * time.Millisecond}
+	a := NewUDP(2, cfg, 1)
+	defer a.Close()
+	addr0, err := a.Listen(0, "")
+	if err != nil {
+		t.Fatalf("listen 0: %v", err)
+	}
+	if _, err := a.Listen(1, ""); err != nil { // node 1 starts life in "process" A
+		t.Fatalf("listen 1: %v", err)
+	}
+
+	// Node 1 migrates: a second transport (a second process, in spirit)
+	// binds it at a fresh address and names A's node 0 in its peer table.
+	b := NewUDP(2, cfg, 2)
+	defer b.Close()
+	if _, err := b.Listen(1, ""); err != nil {
+		t.Fatalf("listen migrated 1: %v", err)
+	}
+	if err := b.AddPeer(0, addr0); err != nil {
+		t.Fatalf("addpeer: %v", err)
+	}
+
+	ping := func() bool {
+		done := make(chan bool, 1)
+		b.Do(func() {
+			b.Node(1).Ping(0, 400*time.Millisecond, false, func(_ float64, ok bool) { done <- ok })
+		})
+		select {
+		case ok := <-done:
+			return ok
+		case <-time.After(5 * time.Second):
+			t.Fatal("ping never resolved")
+			return false
+		}
+	}
+	if ping() {
+		t.Fatal("migrated node reachable past a stale local socket — the failure mode this test pins is gone; re-point the test")
+	}
+	a.CloseNode(1)
+	if !ping() {
+		t.Fatal("after CloseNode the migrated node's address was not re-learned")
+	}
+}
+
+// TestUDPCloseNodeRebind: CloseNode releases the ID for a later Listen on
+// the same transport — the rebound socket answers traffic and the node
+// comes back alive.
+func TestUDPCloseNodeRebind(t *testing.T) {
+	u := newUDPCluster(t, 2, Config{RPCTimeout: time.Second}, 3)
+	defer u.Close()
+	u.CloseNode(1)
+	if u.Alive(1) {
+		t.Fatal("node 1 alive after CloseNode")
+	}
+	if _, err := u.Listen(1, ""); err != nil {
+		t.Fatalf("re-listen after CloseNode: %v", err)
+	}
+	if !u.Alive(1) {
+		t.Fatal("node 1 not revived by re-Listen")
+	}
+	done := make(chan bool, 1)
+	u.Do(func() {
+		u.Node(0).Ping(1, time.Second, false, func(_ float64, ok bool) { done <- ok })
+	})
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("ping to the rebound node timed out")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ping never resolved")
+	}
+}

@@ -4,6 +4,7 @@
 package p2p
 
 import (
+	"fmt"
 	"math"
 	"time"
 )
@@ -65,6 +66,20 @@ type Metrics struct {
 	// Timeouts counts RPCs that expired without a response (the subset of
 	// ExpiriesFired whose request was still outstanding at a live node).
 	Timeouts int64
+	// FaultDropped counts envelopes discarded by the fault plane (bursts,
+	// black-holes, partitions). Each is also counted in MsgsLost, so the
+	// sent = delivered + lost + dead (+ inflight) accounting identity holds
+	// with faults injected.
+	FaultDropped int64
+	// FaultDelayed counts envelopes whose one-way delay the fault plane
+	// stretched (delay spikes, reordering holds).
+	FaultDelayed int64
+	// FaultDuplicated counts the extra copies the fault plane injected
+	// (each copy is also counted in MsgsSent).
+	FaultDuplicated int64
+	// Retries counts the extra request attempts issued by the retry policy
+	// layer (attempt 2 and onward of a Node.RequestPolicy call).
+	Retries int64
 }
 
 // Config parameterises a Runtime.
@@ -75,6 +90,21 @@ type Config struct {
 	// RPCTimeout is the default request expiry used when a caller passes
 	// a non-positive timeout.
 	RPCTimeout time.Duration
+}
+
+// Validate checks the configuration's knobs: the loss probability must be
+// a probability and the RPC timeout must not be negative (zero means "use
+// the default"). Every transport constructor rejects an invalid Config up
+// front, so a typo'd knob fails at construction instead of surfacing as a
+// nonsense loss draw or an RPC that expires before it is sent.
+func (c Config) Validate() error {
+	if math.IsNaN(c.LossProb) || c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("p2p: loss probability %v out of [0,1]", c.LossProb)
+	}
+	if c.RPCTimeout < 0 {
+		return fmt.Errorf("p2p: negative RPC timeout %v", c.RPCTimeout)
+	}
+	return nil
 }
 
 // DefaultConfig returns a lossless runtime with a 2 s RPC timeout —

@@ -102,6 +102,13 @@ type WireConfig struct {
 	// time so a test kernel's queue can drain. 0 gossips forever — drive
 	// the kernel with RunUntil or Stop in that case.
 	Horizon time.Duration
+	// Retry is the per-RPC retry policy applied to placement probes and
+	// walk hops; it also arms the search's graceful degradation (suspect
+	// candidates verify last, and a walk that collected no live candidate
+	// falls back to a ring search over known members). The zero value
+	// (the default) disables all of it, reproducing the historical
+	// behavior bit for bit.
+	Retry p2p.Policy
 }
 
 // DefaultWireConfig returns the wire protocol defaults: the paper's update
@@ -632,6 +639,10 @@ type WireResult struct {
 	// Candidates is how many distinct members the walk collected before
 	// verification.
 	Candidates int
+	// RingFallback reports that the greedy walk collected no live
+	// candidate and the search degraded to a ring sweep over known
+	// members (only possible with a retry policy enabled).
+	RingFallback bool
 	// Found reports whether any verified candidate answered.
 	Found bool
 }
@@ -711,7 +722,7 @@ func (w *Wire) place(n *p2p.Node, client p2p.NodeID, lseq uint64, res *WireResul
 		w.rt.SerialMetrics().QueryProbes++
 		res.Probes++
 		start := w.rt.Now(n.ID)
-		n.Request(targets[i], MsgProbe, nil, w.cfg.RPCTimeout,
+		n.RequestPolicy(targets[i], MsgProbe, nil, w.cfg.RPCTimeout, w.cfg.Retry,
 			func(env p2p.Envelope) {
 				rtt := float64(w.rt.Now(n.ID)-start) / float64(time.Millisecond)
 				if rec := w.rt.FlightRecorder(); rec != nil {
@@ -776,7 +787,7 @@ func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, lseq uint64, tc *Coord, star
 		visited[cur] = true
 		hopStart := w.rt.Now(n.ID)
 		hopTo := cur
-		n.Request(cur, MsgWalk, payload, w.cfg.RPCTimeout,
+		n.RequestPolicy(cur, MsgWalk, payload, w.cfg.RPCTimeout, w.cfg.Retry,
 			func(env p2p.Envelope) {
 				if rec := w.rt.FlightRecorder(); rec != nil {
 					rec.Record(obs.Hop{Lookup: lseq, Scheme: "vivaldi", Type: MsgWalk,
@@ -815,7 +826,28 @@ func (w *Wire) walk(n *p2p.Node, client p2p.NodeID, lseq uint64, tc *Coord, star
 // responder.
 func (w *Wire) verify(n *p2p.Node, cands []walkCand, res *WireResult, done func(WireResult)) {
 	res.Candidates = len(cands)
+	if len(cands) == 0 && w.cfg.Retry.Enabled() && len(w.members) > 0 {
+		w.ringFallback(n, res, done)
+		return
+	}
 	sortWalkCands(cands)
+	// Suspect candidates (repeated exhausted retries) verify last, so the
+	// ping budget goes to peers that have been answering. A no-op with
+	// retries disabled: Suspect is then always false.
+	if w.cfg.Retry.Enabled() && len(cands) > 1 {
+		ordered := make([]walkCand, 0, len(cands))
+		for _, c := range cands {
+			if !n.Suspect(c.id, w.cfg.Retry) {
+				ordered = append(ordered, c)
+			}
+		}
+		for _, c := range cands {
+			if n.Suspect(c.id, w.cfg.Retry) {
+				ordered = append(ordered, c)
+			}
+		}
+		cands = ordered
+	}
 	limit := w.cfg.VerifyTop
 	if limit < 1 {
 		limit = 1
@@ -828,6 +860,36 @@ func (w *Wire) verify(n *p2p.Node, cands []walkCand, res *WireResult, done func(
 		ids[i] = c.id
 	}
 	n.SweepPing(ids, w.cfg.RPCTimeout, func(s p2p.PingSweep) {
+		res.Probes += s.Probes
+		res.Dead += s.Dead
+		if s.Found {
+			res.Found = true
+			res.Peer, res.RTTms = s.Best, s.BestRTT
+		}
+		done(*res)
+	})
+}
+
+// ringFallback is the search's graceful degradation: when the greedy walk
+// exhausted every alternate without collecting one live candidate, sweep-
+// ping a random sample of known members so the query still answers with
+// the best reachable peer instead of failing outright. Reached only with
+// a retry policy enabled; the probe budget is twice VerifyTop.
+func (w *Wire) ringFallback(n *p2p.Node, res *WireResult, done func(WireResult)) {
+	res.RingFallback = true
+	budget := 2 * w.cfg.VerifyTop
+	if budget < 2 {
+		budget = 2
+	}
+	var targets []p2p.NodeID
+	for tries := 0; tries < 4*budget && len(targets) < budget; tries++ {
+		m := w.members[w.qsrc.Intn(len(w.members))]
+		if m == n.ID || containsID(targets, m) || n.Suspect(m, w.cfg.Retry) {
+			continue
+		}
+		targets = append(targets, m)
+	}
+	n.SweepPing(targets, w.cfg.RPCTimeout, func(s p2p.PingSweep) {
 		res.Probes += s.Probes
 		res.Dead += s.Dead
 		if s.Found {

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Chaos soak: a 10-node UDP cluster (one race-instrumented daemon, ten
+# sockets, real datagrams) runs under a deterministic fault plan — a 15 s
+# bidirectional partition splitting the cluster 5/5 with a crash+restart of
+# node 7 nested inside it — while a client keeps best-effort traffic
+# flowing. The gates all sit PAST the heal: every key readable, nearest
+# matching the static oracle's argmin, and the daemon still up (any data
+# race killed it long ago — the binary is built with -race). Node logs land
+# in $LOGDIR for the CI artifact. Exits nonzero on any gate.
+set -euo pipefail
+
+LOGDIR="${LOGDIR:-chaossoak-logs}"
+BIN="$LOGDIR/npnode"
+MATRIX="$LOGDIR/matrix.json"
+CLUSTER=(-ids 0-9 -n 12)
+CLIENT=10 # a spare matrix row, not a cluster member
+KEYS=(alpha beta gamma delta epsilon zeta)
+
+# The plan, measured from the daemon's transport start: quiet bring-up
+# until t=20s, partition 0-4 | 5-9 during [20s,35s), node 7 down during
+# [25s,35s). Healed from t=35s on.
+PLAN='seed=3;partition:at=20s,for=15s,a=0-4,b=5-9;crash:at=25s,for=10s,nodes=7'
+HEAL_AT=40 # seconds from daemon start: plan over, plus settle margin
+
+mkdir -p "$LOGDIR"
+go build -race -o "$BIN" ./cmd/npnode
+
+"$BIN" genmatrix -n 12 -seed 5 > "$MATRIX"
+
+"$BIN" serve "${CLUSTER[@]}" -serve-ids 0-9 -matrix "$MATRIX" -delay -status 5s \
+  -faults "$PLAN" > "$LOGDIR/cluster.log" 2>&1 &
+SERVE=$!
+START=$SECONDS
+trap 'kill "$SERVE" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 60); do
+  grep -q 'ring converged' "$LOGDIR/cluster.log" && break
+  sleep 0.5
+done
+grep -q 'ring converged' "$LOGDIR/cluster.log" || {
+  echo "ring never converged; log tail:" >&2
+  tail -20 "$LOGDIR/cluster.log" >&2
+  exit 1
+}
+grep -q 'fault plan armed' "$LOGDIR/cluster.log" || {
+  echo "FAIL: daemon did not arm the fault plan" >&2
+  exit 1
+}
+
+# Seed the keys during the quiet window (retried: a put racing the tail of
+# join churn can transiently miss).
+put_key() { # key
+  local k="$1"
+  for i in $(seq 1 5); do
+    if "$BIN" put -as "$CLIENT" "${CLUSTER[@]}" "key-$k" "val-$k" >> "$LOGDIR/client.log" 2>&1; then
+      return 0
+    fi
+    sleep 1
+  done
+  echo "FAIL: put key-$k never succeeded" >&2
+  return 1
+}
+for k in "${KEYS[@]}"; do
+  put_key "$k"
+done
+echo "seeded ${#KEYS[@]} keys at t=$((SECONDS - START))s; letting the fault plan play out"
+
+# Chaos window: keep best-effort traffic flowing so the partition and the
+# crash are exercised by real lookups, not just stabilize rounds. Failures
+# here are expected and only logged.
+ok=0 fail=0
+while [ $((SECONDS - START)) -lt "$HEAL_AT" ]; do
+  for k in "${KEYS[@]}"; do
+    if "$BIN" get -as "$CLIENT" "${CLUSTER[@]}" "key-$k" >> "$LOGDIR/client.log" 2>&1; then
+      ok=$((ok + 1))
+    else
+      fail=$((fail + 1))
+    fi
+  done
+  sleep 2
+done
+echo "chaos window over: $ok best-effort gets succeeded, $fail failed (failures expected mid-fault)"
+
+# --- post-heal gates ---------------------------------------------------
+kill -0 "$SERVE" 2>/dev/null || {
+  echo "FAIL: daemon died during the soak; log tail:" >&2
+  tail -30 "$LOGDIR/cluster.log" >&2
+  exit 1
+}
+
+check_get() { # key (retried across the tail of ring repair)
+  local k="$1" got
+  for i in $(seq 1 10); do
+    if got=$("$BIN" get -as "$CLIENT" "${CLUSTER[@]}" "key-$k" 2>/dev/null); then
+      case "$got" in
+        "get key-$k = val-$k"*) echo "$got" >> "$LOGDIR/client.log"; return 0 ;;
+      esac
+    fi
+    sleep 1
+  done
+  echo "FAIL: post-heal get key-$k returned: ${got:-<error>}" >&2
+  return 1
+}
+for k in "${KEYS[@]}"; do
+  check_get "$k"
+done
+echo "all ${#KEYS[@]} keys readable post-heal"
+
+# nearest over real datagrams vs the oracle's static argmin, post-heal
+# (retried: node 7's coordinate may still be settling right at the gate).
+check_nearest() {
+  local live want live_id want_id
+  for i in $(seq 1 5); do
+    live=$("$BIN" nearest -as "$CLIENT" "${CLUSTER[@]}" -matrix "$MATRIX" -delay | tee -a "$LOGDIR/client.log")
+    want=$("$BIN" oracle -matrix "$MATRIX" -from "$CLIENT" -ids 0-9 | tee -a "$LOGDIR/client.log")
+    live_id=$(echo "$live" | awk '{print $2}')
+    want_id=$(echo "$want" | awk '{print $2}')
+    if [ "$live_id" = "$want_id" ]; then
+      echo "nearest == oracle argmin (node $live_id)"
+      return 0
+    fi
+    sleep 2
+  done
+  echo "FAIL: live nearest picked node $live_id, oracle says $want_id" >&2
+  echo "  live:   $live" >&2
+  echo "  oracle: $want" >&2
+  return 1
+}
+check_nearest
+
+echo "chaossoak OK: partition+crash healed, keys intact, nearest == oracle argmin"

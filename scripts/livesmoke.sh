@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Live-cluster smoke: boot a 10-node UDP cluster in one process, run
-# put/get/nearest through the npnode CLI as an ephemeral client, and
-# cross-check nearest against the static oracle's argmin over the same
-# latency matrix. Node logs land in $LOGDIR (CI uploads them as an
-# artifact). Exits nonzero on any mismatch.
+# Live-cluster smoke: boot a 10-node UDP cluster split across two daemon
+# processes, run put/get/nearest through the npnode CLI as an ephemeral
+# client, and cross-check nearest against the static oracle's argmin over
+# the same latency matrix. Then the restart round: SIGTERM the second
+# daemon (its node gracefully leaves the ring, handing its keys to its
+# successor in the surviving process), check every key is still readable,
+# restart the daemon, and check the rejoined ring still answers. Node logs
+# land in $LOGDIR (CI uploads them as an artifact). Exits nonzero on any
+# mismatch.
 set -euo pipefail
 
 LOGDIR="${LOGDIR:-livesmoke-logs}"
@@ -11,55 +15,106 @@ BIN="${BIN:-$LOGDIR/npnode}"
 MATRIX="$LOGDIR/matrix.json"
 CLUSTER=(-ids 0-9 -n 12)
 CLIENT=10 # a spare matrix row, not a cluster member
+KEYS=(alpha beta gamma delta epsilon zeta)
 
 mkdir -p "$LOGDIR"
 go build -o "$BIN" ./cmd/npnode
 
 "$BIN" genmatrix -n 12 -seed 5 > "$MATRIX"
 
-"$BIN" serve "${CLUSTER[@]}" -matrix "$MATRIX" -delay -status 5s \
-  > "$LOGDIR/cluster.log" 2>&1 &
-SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+# Two processes so a graceful shutdown has somewhere to hand keys off to:
+# A serves nodes 0-8, B serves node 9.
+"$BIN" serve "${CLUSTER[@]}" -serve-ids 0-8 -matrix "$MATRIX" -delay -status 5s \
+  > "$LOGDIR/cluster-a.log" 2>&1 &
+SERVE_A=$!
+"$BIN" serve "${CLUSTER[@]}" -serve-ids 9 -matrix "$MATRIX" -delay -status 5s \
+  > "$LOGDIR/cluster-b.log" 2>&1 &
+SERVE_B=$!
+trap 'kill "$SERVE_A" "$SERVE_B" 2>/dev/null || true' EXIT
 
-# Ready when the daemon reports ring convergence — a put racing the join
+# Ready when both daemons report ring convergence — a put racing the join
 # churn can land at a transient owner and strand the key.
-for i in $(seq 1 60); do
-  if grep -q 'ring converged' "$LOGDIR/cluster.log"; then
-    break
-  fi
-  if [ "$i" = 60 ]; then
-    echo "ring never converged; cluster log tail:" >&2
-    tail -20 "$LOGDIR/cluster.log" >&2
-    exit 1
-  fi
-  sleep 0.5
-done
+wait_converged() { # logfile
+  for i in $(seq 1 60); do
+    if grep -q 'ring converged' "$1"; then
+      return 0
+    fi
+    sleep 0.5
+  done
+  echo "ring never converged; $1 tail:" >&2
+  tail -20 "$1" >&2
+  return 1
+}
+wait_converged "$LOGDIR/cluster-a.log"
+wait_converged "$LOGDIR/cluster-b.log"
 
 # put/get round trips through separate client processes.
-for k in alpha beta gamma; do
+for k in "${KEYS[@]}"; do
   "$BIN" put -as "$CLIENT" "${CLUSTER[@]}" "key-$k" "val-$k" | tee -a "$LOGDIR/client.log"
 done
-for k in alpha beta gamma; do
-  got=$("$BIN" get -as "$CLIENT" "${CLUSTER[@]}" "key-$k" | tee -a "$LOGDIR/client.log")
-  case "$got" in
-    "get key-$k = val-$k"*) ;;
-    *) echo "FAIL: get key-$k returned: $got" >&2; exit 1 ;;
-  esac
+
+check_get() { # key (retries around transient ring repair)
+  local k="$1" got
+  for i in $(seq 1 5); do
+    if got=$("$BIN" get -as "$CLIENT" "${CLUSTER[@]}" "key-$k" 2>/dev/null); then
+      case "$got" in
+        "get key-$k = val-$k"*) echo "$got" >> "$LOGDIR/client.log"; return 0 ;;
+      esac
+    fi
+    sleep 1
+  done
+  echo "FAIL: get key-$k returned: ${got:-<error>}" >&2
+  return 1
+}
+for k in "${KEYS[@]}"; do
+  check_get "$k"
 done
 
 # nearest over real datagrams vs the oracle's static argmin: the measured
 # RTTs are the matrix's artificial delays plus sub-millisecond overhead,
 # and genmatrix spaces every pair ≥2 ms apart, so the argmins must agree.
-live=$("$BIN" nearest -as "$CLIENT" "${CLUSTER[@]}" -matrix "$MATRIX" -delay | tee -a "$LOGDIR/client.log")
-want=$("$BIN" oracle -matrix "$MATRIX" -from "$CLIENT" -ids 0-9 | tee -a "$LOGDIR/client.log")
-live_id=$(echo "$live" | awk '{print $2}')
-want_id=$(echo "$want" | awk '{print $2}')
-if [ "$live_id" != "$want_id" ]; then
-  echo "FAIL: live nearest picked node $live_id, oracle says $want_id" >&2
-  echo "  live:   $live" >&2
-  echo "  oracle: $want" >&2
+check_nearest() {
+  local live want live_id want_id
+  live=$("$BIN" nearest -as "$CLIENT" "${CLUSTER[@]}" -matrix "$MATRIX" -delay | tee -a "$LOGDIR/client.log")
+  want=$("$BIN" oracle -matrix "$MATRIX" -from "$CLIENT" -ids 0-9 | tee -a "$LOGDIR/client.log")
+  live_id=$(echo "$live" | awk '{print $2}')
+  want_id=$(echo "$want" | awk '{print $2}')
+  if [ "$live_id" != "$want_id" ]; then
+    echo "FAIL: live nearest picked node $live_id, oracle says $want_id" >&2
+    echo "  live:   $live" >&2
+    echo "  oracle: $want" >&2
+    return 1
+  fi
+  echo "nearest == oracle argmin (node $live_id)"
+}
+check_nearest
+
+# --- restart round -----------------------------------------------------
+# SIGTERM daemon B: node 9 must leave gracefully, handing its keys to its
+# successor inside daemon A, so every key stays readable while B is down.
+kill -TERM "$SERVE_B"
+wait "$SERVE_B" 2>/dev/null || true
+if ! grep -q 'left the ring (graceful handoff)' "$LOGDIR/cluster-b.log"; then
+  echo "FAIL: daemon B shut down without a graceful leave; log tail:" >&2
+  tail -10 "$LOGDIR/cluster-b.log" >&2
   exit 1
 fi
+echo "daemon B left gracefully; checking keys survived the handoff"
+for k in "${KEYS[@]}"; do
+  check_get "$k"
+done
 
-echo "livesmoke OK: put/get round-tripped, nearest == oracle argmin (node $live_id)"
+# Restart B: node 9 rejoins off the surviving members and the full ring
+# converges again; keys and nearest must still answer.
+"$BIN" serve "${CLUSTER[@]}" -serve-ids 9 -matrix "$MATRIX" -delay -status 5s \
+  > "$LOGDIR/cluster-b2.log" 2>&1 &
+SERVE_B=$!
+trap 'kill "$SERVE_A" "$SERVE_B" 2>/dev/null || true' EXIT
+wait_converged "$LOGDIR/cluster-b2.log"
+echo "daemon B rejoined; ring reconverged"
+for k in "${KEYS[@]}"; do
+  check_get "$k"
+done
+check_nearest
+
+echo "livesmoke OK: put/get round-tripped, handoff survived a restart, nearest == oracle argmin"
