@@ -37,7 +37,7 @@ func main() {
 	// s1's and v1's wall-clock views are printed to the terminal but never
 	// written to the figure file: elapsed time is not deterministic, and
 	// figure files must be byte-identical across -workers.
-	var s1Timing, v1Timing, o1Timing, r1Timing string
+	var s1Timing, v1Timing, o1Timing, r1Timing, g1Timing string
 	list := []experiment{
 		{"table1", func() string { return experiments.Table1(env()).Render() }},
 		{"fig3", func() string { return experiments.Fig3(env()).Render() }},
@@ -77,6 +77,11 @@ func main() {
 			r1Timing = r.RenderTiming()
 			return r.Render()
 		}},
+		{"g1", func() string {
+			r := experiments.GrandStudy(scale, *seed)
+			g1Timing = r.RenderTiming()
+			return r.Render()
+		}},
 	}
 
 	if *outDir != "" {
@@ -103,6 +108,9 @@ func main() {
 		}
 		if e.name == "r1" && r1Timing != "" {
 			fmt.Println(r1Timing)
+		}
+		if e.name == "g1" && g1Timing != "" {
+			fmt.Println(g1Timing)
 		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, e.name+".txt")

@@ -18,6 +18,7 @@ import (
 	goruntime "runtime"
 	"runtime/pprof"
 
+	"nearestpeer/internal/azureus"
 	"nearestpeer/internal/beacon"
 	"nearestpeer/internal/engine"
 	"nearestpeer/internal/experiments"
@@ -28,6 +29,7 @@ import (
 	"nearestpeer/internal/obs"
 	"nearestpeer/internal/overlay"
 	"nearestpeer/internal/pic"
+	"nearestpeer/internal/rendezvous"
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/tapestry"
 	"nearestpeer/internal/tiers"
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	algo := flag.String("algo", "meridian",
-		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing; with -runtime: meridian | ucl | ipprefix | chord | vivaldi")
+		"algorithm: meridian | kargerruhl | tapestry | tiers | vivaldi | pic | guyton | beaconing | azureus | rendezvous; with -runtime any registry scheme: those plus expanding | chord | ucl | ipprefix")
 	ens := flag.Int("ens", 125, "end-networks per cluster")
 	peers := flag.Int("peers", 2500, "total peer population")
 	delta := flag.Float64("delta", 0.2, "intra-cluster latency variation δ")
@@ -129,16 +131,14 @@ func main() {
 		switch *algo {
 		case "meridian", "chord":
 			// Both run on the clustered matrix built below.
-		case "ucl", "ipprefix", "vivaldi":
-			// The hint schemes and the coordinate gossip run on the
-			// measurement topology: dispatch before the (large, unused
-			// here) clustered matrix is built.
+		default:
+			// Every other registry scheme runs on the measurement
+			// topology: dispatch before the (large, unused here)
+			// clustered matrix is built. Unknown names get the
+			// registry's roster error.
 			runWireMitigation(*algo, *peers, *queries, *loss, *churn, *seed, rec, plan)
 			writeTrace(rec, *tracePath)
 			return
-		default:
-			fmt.Fprintf(os.Stderr, "-runtime supports -algo meridian|ucl|ipprefix|chord|vivaldi (got %q)\n", *algo)
-			os.Exit(2)
 		}
 	}
 
@@ -210,8 +210,12 @@ func main() {
 		finder = &beacon.GuytonSchwartz{Inf: beacon.New(net, members, beacon.DefaultConfig(), *seed+2)}
 	case "beaconing":
 		finder = &beacon.Beaconing{Inf: beacon.New(net, members, beacon.DefaultConfig(), *seed+2)}
+	case "azureus":
+		finder = azureus.NewFinder(net, members, azureus.DefaultFinderConfig(), *seed+2)
+	case "rendezvous":
+		finder = rendezvous.NewDirectory(net, members, func(m int) int { return gt.ENOf[m] })
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q (see -algo usage for the roster)\n", *algo)
 		os.Exit(2)
 	}
 
@@ -259,12 +263,14 @@ func runScaleStudy(hosts, queries int, seed int64) {
 	fmt.Println(r.RenderTiming())
 }
 
-// runWireMitigation resolves nearest-peer queries through a Section 5 hint
-// scheme (UCL or IP-prefix, over the message-level Chord DHT) or the
-// Vivaldi coordinate gossip, on the measurement topology (the hint schemes
-// need routers and IP prefixes, which the synthetic clustered matrix does
-// not have; for vivaldi the publish column reports the gossip warm-up
-// bill, lookups are walks and hops are walk steps).
+// runWireMitigation resolves nearest-peer queries through any scheme in
+// the experiments registry — the Section 5 hint schemes (UCL, IP-prefix,
+// over the message-level Chord DHT), the Vivaldi coordinate gossip, and
+// the wired algorithm zoo (guyton, beaconing, tiers, pic, tapestry,
+// azureus, kargerruhl, rendezvous, expanding) — on the measurement
+// topology (the hint schemes need routers and IP prefixes, which the
+// synthetic clustered matrix does not have). The publish column reports
+// each scheme's bring-up bill; lookups and hops count its own RPCs.
 // traceCapacity bounds the -trace flight-recorder ring; when a run records
 // more hops than this, the oldest are overwritten and reported as dropped.
 const traceCapacity = 1 << 16
@@ -304,10 +310,14 @@ func runWireMitigation(scheme string, peers, queries int, loss float64, churn bo
 	peerSet := experiments.MitigationPeers(env, peers)
 	fmt.Printf("algo=%s/p2p peers=%d (measurement topology; -ens/-delta do not apply; capped at %d peers, %d queries) queries=%d loss=%.0f%% churn=%v\n",
 		scheme, len(peerSet), maxPeers, maxQueries, queries, loss*100, churn)
-	row := experiments.RunWireMitigation(env, peerSet, experiments.MitigationOpts{
+	row, err := experiments.RunWireMitigation(env, peerSet, experiments.MitigationOpts{
 		Scheme: scheme, Loss: loss, Churn: churn, Queries: queries, Seed: seed,
 		Recorder: rec, Faults: plan,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(2)
+	}
 	fmt.Printf("\nfound any peer          = %.2f\n", row.Found)
 	fmt.Printf("P(peer within 10 ms)    = %.3f (over %d queries with a live near peer)\n", row.PNear, row.NearDenom)
 	fmt.Printf("mean RTT of found peer  = %.1f ms\n", row.MeanFoundMs)

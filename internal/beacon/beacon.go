@@ -100,13 +100,28 @@ func (g *GuytonSchwartz) FindNearest(target int) overlay.Result {
 		toBeacon[i] = inf.net.Probe(target, b)
 		probes++
 	}
+	best := inf.gsBest(toBeacon, target)
+	lat := inf.net.Probe(target, best)
+	probes++
+	return overlay.Result{Peer: best, LatencyMs: lat, Probes: probes, Hops: 0}
+}
+
+// gsBest is the Guyton–Schwartz estimation step: given the querier's
+// measured beacon latencies, return the member with the least Hotz midpoint
+// estimate (the querier itself excluded). NaN entries mark beacons the
+// querier could not measure (a wire probe lost) and contribute no bound.
+// Shared by the static finder and the wire deployment's estimation server.
+func (inf *Infrastructure) gsBest(toBeacon []float64, exclude int) int {
 	best, bestEst := -1, math.Inf(1)
 	for _, m := range inf.members {
-		if m == target {
+		if m == exclude {
 			continue
 		}
 		lower, upper := 0.0, math.Inf(1)
 		for i := range inf.beacons {
+			if math.IsNaN(toBeacon[i]) {
+				continue
+			}
 			bm, ok := inf.lat[i][m]
 			if !ok { // m is this beacon
 				bm = 0
@@ -123,9 +138,7 @@ func (g *GuytonSchwartz) FindNearest(target int) overlay.Result {
 			best, bestEst = m, est
 		}
 	}
-	lat := inf.net.Probe(target, best)
-	probes++
-	return overlay.Result{Peer: best, LatencyMs: lat, Probes: probes, Hops: 0}
+	return best
 }
 
 // Beaconing is the ICNP 2001 finder: each beacon returns the members whose
@@ -149,15 +162,8 @@ func (b *Beaconing) FindNearest(target int) overlay.Result {
 	// Count, per member, how many beacons place it in the band.
 	votes := make(map[int]int)
 	for i := range inf.beacons {
-		lo := toBeacon[i] * (1 - inf.cfg.Tolerance)
-		hi := toBeacon[i] * (1 + inf.cfg.Tolerance)
-		for _, m := range inf.members {
-			if m == target {
-				continue
-			}
-			if l, ok := inf.lat[i][m]; ok && l >= lo && l <= hi {
-				votes[m]++
-			}
+		for _, m := range inf.bandMembers(i, toBeacon[i], target) {
+			votes[m]++
 		}
 	}
 	if len(votes) == 0 {
@@ -169,6 +175,54 @@ func (b *Beaconing) FindNearest(target int) overlay.Result {
 	}
 	// Prefer members every beacon agrees on; rank by vote count then by
 	// the triangulation lower bound.
+	lower := func(m int) float64 {
+		var lo float64
+		for i := range inf.beacons {
+			if l, ok := inf.lat[i][m]; ok {
+				if d := math.Abs(l - toBeacon[i]); d > lo {
+					lo = d
+				}
+			}
+		}
+		return lo
+	}
+	ranked := rankBand(votes, lower, inf.cfg.MaxCandidates)
+	best, bestLat := -1, math.Inf(1)
+	for _, m := range ranked {
+		l := inf.net.Probe(target, m)
+		probes++
+		if l < bestLat {
+			best, bestLat = m, l
+		}
+	}
+	return overlay.Result{Peer: best, LatencyMs: bestLat, Probes: probes, Hops: 0}
+}
+
+// bandMembers returns the members whose standing latency to beacon index b
+// falls inside the tolerance band around the querier's own measurement
+// (the querier itself excluded) — one beacon's answer in the Beaconing
+// scheme. Shared by the static finder and the wire deployment's per-beacon
+// band handler.
+func (inf *Infrastructure) bandMembers(b int, toBeacon float64, exclude int) []int {
+	lo := toBeacon * (1 - inf.cfg.Tolerance)
+	hi := toBeacon * (1 + inf.cfg.Tolerance)
+	var out []int
+	for _, m := range inf.members {
+		if m == exclude {
+			continue
+		}
+		if l, ok := inf.lat[b][m]; ok && l >= lo && l <= hi {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// rankBand orders Beaconing's band candidates: most beacon votes first,
+// then smallest triangulation lower bound, then id, capped at max (≤ 0
+// means no cap). Shared by the static finder and the wire deployment so
+// both legs probe the identical candidate list.
+func rankBand(votes map[int]int, lower func(m int) float64, max int) []int {
 	type cand struct {
 		id    int
 		votes int
@@ -176,15 +230,7 @@ func (b *Beaconing) FindNearest(target int) overlay.Result {
 	}
 	cands := make([]cand, 0, len(votes))
 	for m, v := range votes {
-		lower := 0.0
-		for i := range inf.beacons {
-			if l, ok := inf.lat[i][m]; ok {
-				if d := math.Abs(l - toBeacon[i]); d > lower {
-					lower = d
-				}
-			}
-		}
-		cands = append(cands, cand{id: m, votes: v, est: lower})
+		cands = append(cands, cand{id: m, votes: v, est: lower(m)})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].votes != cands[j].votes {
@@ -195,17 +241,12 @@ func (b *Beaconing) FindNearest(target int) overlay.Result {
 		}
 		return cands[i].id < cands[j].id
 	})
-	limit := inf.cfg.MaxCandidates
-	if limit <= 0 || limit > len(cands) {
-		limit = len(cands)
+	if max <= 0 || max > len(cands) {
+		max = len(cands)
 	}
-	best, bestLat := -1, math.Inf(1)
-	for _, c := range cands[:limit] {
-		l := inf.net.Probe(target, c.id)
-		probes++
-		if l < bestLat {
-			best, bestLat = c.id, l
-		}
+	out := make([]int, max)
+	for i := 0; i < max; i++ {
+		out[i] = cands[i].id
 	}
-	return overlay.Result{Peer: best, LatencyMs: bestLat, Probes: probes, Hops: 0}
+	return out
 }

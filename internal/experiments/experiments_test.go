@@ -211,8 +211,14 @@ func TestChurnStudy(t *testing.T) {
 func TestMitigationWireMatchesStaticLossless(t *testing.T) {
 	env := SharedEnv(Quick, 1)
 	peers := MitigationPeers(env, 80)
-	static := RunStaticMitigation(env, "ipprefix", peers, 20, 1)
-	wire := RunWireMitigation(env, peers, MitigationOpts{Scheme: "ipprefix", Queries: 20, Seed: 1})
+	static, err := RunStaticMitigation(env, "ipprefix", peers, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := RunWireMitigation(env, peers, MitigationOpts{Scheme: "ipprefix", Queries: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if wire.Timeouts != 0 || wire.LookupFails != 0 || wire.DeadProbes != 0 {
 		t.Fatalf("lossless wire run shows wire failures: %+v", wire)
 	}
@@ -233,7 +239,10 @@ func TestMitigationWireMatchesStaticLossless(t *testing.T) {
 func TestMitigationWireUnderLossAndChurn(t *testing.T) {
 	env := SharedEnv(Quick, 1)
 	peers := MitigationPeers(env, 80)
-	row := RunWireMitigation(env, peers, MitigationOpts{Scheme: "ucl", Loss: 0.05, Churn: true, Queries: 15, Seed: 1})
+	row, err := RunWireMitigation(env, peers, MitigationOpts{Scheme: "ucl", Loss: 0.05, Churn: true, Queries: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if row.Leaves == 0 || row.Joins == 0 {
 		t.Fatalf("churn condition saw no churn: %+v", row)
 	}

@@ -13,7 +13,6 @@ import (
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
 	"nearestpeer/internal/stats"
-	"nearestpeer/internal/vivaldi"
 )
 
 // This file is the robustness study (figure r1): the nearest-peer schemes
@@ -229,78 +228,25 @@ func faultCell(m latency.Matrix, scheme string, cond faultCondition, retry bool,
 	for i, id := range members {
 		ids[i] = p2p.NodeID(id)
 	}
-	src := rng.New(seed + 3)
-	liveMember := func() p2p.NodeID {
-		id := ids[src.Intn(len(ids))]
-		for tries := 0; tries < 20 && !rt.Alive(id); tries++ {
-			id = ids[src.Intn(len(ids))]
-		}
-		return id
-	}
 
-	// Scheme-specific bring-up: issue runs one lookup and reports success
-	// plus the returned peer (-1 when there is none to judge); origin[op]
-	// records the issuing target so stretch can be scored against its
-	// oracle; queryStart is when the cadenced stream begins.
+	// Scheme bring-up via the registry: setup.issue runs one lookup,
+	// reporting success plus the returned peer (-1 when there is none to
+	// judge) and the issuing target so stretch can be scored against its
+	// oracle; setup.queryStart is when the cadenced stream begins.
 	origin := make([]int, lookups)
 	for i := range origin {
 		origin[i] = -1
 	}
-	var issue func(op int, done func(ok bool, peer int))
-	var queryStart time.Duration
-	switch scheme {
-	case "meridian":
-		mcfg := p2p.DefaultMeridianConfig()
-		mcfg.Retry = pol
-		mer := p2p.NewMeridian(rt, mcfg, seed+1)
-		for _, id := range ids {
-			mer.Join(id)
-		}
-		for _, id := range targets {
-			rt.AddNode(p2p.NodeID(id))
-		}
-		queryStart = time.Minute
-		issue = func(op int, done func(bool, int)) {
-			tgt := p2p.NodeID(targets[src.Intn(len(targets))])
-			origin[op] = int(tgt)
-			mer.FindNearest(tgt, tgt, func(res p2p.QueryResult) {
-				done(res.Completed && res.Peer >= 0, res.Peer)
-			})
-		}
-	case "chord":
-		ccfg := p2p.DefaultChordConfig()
-		ccfg.Horizon = faultStudyHorizon
-		ccfg.Retry = pol
-		chord := p2p.NewChord(rt, ccfg, seed+1)
-		joinEnd := chordJoinRamp(kernel, chord, ids, 0)
-		queryStart = joinEnd + chordSettle
-		issue = func(op int, done func(bool, int)) {
-			chord.Lookup(liveMember(), fmt.Sprintf("r1/%d", op), func(res p2p.LookupResult) {
-				done(res.OK, -1)
-			})
-		}
-	case "vivaldi":
-		wcfg := vivaldi.DefaultWireConfig()
-		wcfg.Horizon = faultStudyHorizon
-		wcfg.Retry = pol
-		w := vivaldi.NewWire(rt, wcfg, seed+1)
-		for _, id := range ids {
-			w.Join(id)
-		}
-		for _, id := range targets {
-			rt.AddNode(p2p.NodeID(id))
-		}
-		queryStart = vivaldiWarmup
-		issue = func(op int, done func(bool, int)) {
-			tgt := p2p.NodeID(targets[src.Intn(len(targets))])
-			origin[op] = int(tgt)
-			w.FindNearest(tgt, func(r vivaldi.WireResult) {
-				done(r.Found, int(r.Peer))
-			})
-		}
-	default:
+	s, err := schemeFor(scheme)
+	if err != nil || s.Lookup == nil {
 		panic("faultCell: unknown scheme " + scheme)
 	}
+	setup := s.Lookup(&lookupEnv{
+		kernel: kernel, rt: rt, ids: ids, targets: targets,
+		src: rng.New(seed + 3), horizon: faultStudyHorizon, retry: pol,
+		opLabel: "r1", seed: seed,
+	})
+	queryStart := setup.queryStart
 
 	span := time.Duration(lookups) * faultQueryEvery
 	plan := cond.plan(queryStart, span, m.N(), members)
@@ -331,7 +277,7 @@ func faultCell(m latency.Matrix, scheme string, cond faultCondition, retry bool,
 				r.ms = float64(kernel.Now()-issueAt) / float64(time.Millisecond)
 			}
 			kernel.After(wireOpDeadline, func() { report(false, -1) })
-			issue(op, report)
+			origin[op] = setup.issue(op, report)
 		})
 	}
 	kernel.At(queryStart+span+2*time.Minute, kernel.Stop)

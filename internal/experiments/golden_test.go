@@ -104,6 +104,22 @@ func TestGoldenQuickFigures(t *testing.T) {
 		}
 		checkGolden(t, "golden_r1_quick.txt", serial)
 	})
+	// g1 runs at two worker counts as well: the grand table is the
+	// acceptance artifact of the scheme registry — every registered scheme
+	// through one methodology — and each row is one serial kernel, so the
+	// figure must not move by a byte across -workers (or -shards, which
+	// only touches scale-study cells).
+	t.Run("g1", func(t *testing.T) {
+		prev := engine.SetWorkers(1)
+		defer engine.SetWorkers(prev)
+		serial := GrandStudy(Quick, 1).Render()
+		engine.SetWorkers(8)
+		parallel := GrandStudy(Quick, 1).Render()
+		if serial != parallel {
+			t.Fatalf("g1 differs between -workers=1 and -workers=8:\n--- w=1 ---\n%s\n--- w=8 ---\n%s", serial, parallel)
+		}
+		checkGolden(t, "golden_g1_quick.txt", serial)
+	})
 	// v1 runs at two worker counts like c1: the acceptance bar for the
 	// Vivaldi study is byte-identical output across -workers, witnessed by
 	// the same golden.

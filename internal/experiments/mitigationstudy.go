@@ -101,8 +101,11 @@ func sequenceOps(kernel *sim.Sim, count int, issue func(op int, live func() bool
 
 // MitigationOpts configures one wire mitigation run.
 type MitigationOpts struct {
-	// Scheme is "ucl", "ipprefix" or "vivaldi" (the coordinate scheme of
-	// the v1 study, routed through the same methodology).
+	// Scheme is any registered scheme name (see SchemeNames): the hint
+	// schemes "ucl" and "ipprefix", the coordinate scheme "vivaldi", the
+	// substrate legs "meridian", "expanding" and "chord", and the wired
+	// finders "guyton", "beaconing", "tiers", "pic", "tapestry",
+	// "azureus", "kargerruhl" and "rendezvous".
 	Scheme string
 	// Loss is the one-way packet loss probability.
 	Loss float64
@@ -186,49 +189,82 @@ func mitigationParams(s Scale) (peers, queries int) {
 // RunStaticMitigation runs the function-call baseline for a scheme on the
 // environment's topology: one probe-counting query per target, scored
 // against the true nearest peer. Probes draw from the environment's shared
-// toolkit; see runStaticMitigationTools for a caller-supplied one.
-func RunStaticMitigation(env *Env, scheme string, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+// toolkit; see runStaticMitigationTools for a caller-supplied one. An
+// unknown scheme (or one with no static leg) returns an error naming the
+// registry's roster.
+func RunStaticMitigation(env *Env, scheme string, peers []netmodel.HostID, queries int, seed int64) (MitigationRow, error) {
 	return runStaticMitigationTools(env, env.Tools, scheme, peers, queries, seed)
 }
 
 // runStaticMitigationTools is RunStaticMitigation with an explicit
 // measurement toolkit, so parallel study rows each own their noise stream.
-func runStaticMitigationTools(env *Env, tools *measure.Tools, scheme string, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+// Dispatch goes through the scheme registry.
+func runStaticMitigationTools(env *Env, tools *measure.Tools, scheme string, peers []netmodel.HostID, queries int, seed int64) (MitigationRow, error) {
+	s, err := schemeFor(scheme)
+	if err != nil {
+		return MitigationRow{}, err
+	}
+	if s.Static == nil {
+		return MitigationRow{}, fmt.Errorf("experiments: scheme %q has no static leg", scheme)
+	}
+	return s.Static(env, tools, peers, queries, seed), nil
+}
+
+// staticUCLMitigation is the ucl scheme's registry Static leg.
+func staticUCLMitigation(env *Env, tools *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	return runStaticHintMitigation(env, tools, "ucl", peers, queries, seed,
+		func(tools *measure.Tools, addrs []string) hintStatic {
+			sys := ucl.New(tools, addrs, env.VantageHosts(), ucl.DefaultConfig())
+			for _, p := range peers {
+				sys.Join(p)
+			}
+			return hintStatic{
+				find: func(p netmodel.HostID) (bool, netmodel.HostID, int, int) {
+					r := sys.FindNearest(p)
+					return r.Peer >= 0, r.Peer, r.Probes, r.Lookups
+				},
+				hops: func() int64 { return sys.Ring().Hops },
+			}
+		})
+}
+
+// staticIPPrefixMitigation is the ipprefix scheme's registry Static leg.
+func staticIPPrefixMitigation(env *Env, tools *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	return runStaticHintMitigation(env, tools, "ipprefix", peers, queries, seed,
+		func(tools *measure.Tools, addrs []string) hintStatic {
+			sys := ipprefix.New(tools, addrs, ipprefix.DefaultConfig())
+			for _, p := range peers {
+				sys.Join(p)
+			}
+			return hintStatic{
+				find: func(p netmodel.HostID) (bool, netmodel.HostID, int, int) {
+					r := sys.FindNearest(p)
+					return r.Peer >= 0, r.Peer, r.Probes, r.Lookups
+				},
+				hops: func() int64 { return sys.Ring().Hops },
+			}
+		})
+}
+
+// hintStatic is what a hint scheme's static setup returns: run one query;
+// read the ring's cumulative hop counter.
+type hintStatic struct {
+	find func(p netmodel.HostID) (found bool, peer netmodel.HostID, probes, lookups int)
+	hops func() int64
+}
+
+// runStaticHintMitigation is the shared static harness of the DHT hint
+// schemes: setup builds the scheme over the peers' addresses, then one
+// probe-counting query per draw, scored against the close-peer threshold.
+func runStaticHintMitigation(env *Env, tools *measure.Tools, scheme string, peers []netmodel.HostID, queries int, seed int64,
+	setup func(tools *measure.Tools, addrs []string) hintStatic) MitigationRow {
 	addrs := make([]string, len(peers))
 	for i, p := range peers {
 		addrs[i] = env.Top.Host(p).IP.String()
 	}
 	row := MitigationRow{Found: 0}
-	var find func(p netmodel.HostID) (found bool, peer netmodel.HostID, probes, lookups int)
-	var hops func() int64
-	switch scheme {
-	case "vivaldi":
-		// The coordinate scheme has no DHT and no measurement toolkit —
-		// its baseline reads RTTs off the matrix oracle directly.
-		return runStaticVivaldiMitigation(env, peers, queries, seed)
-	case "ucl":
-		sys := ucl.New(tools, addrs, env.VantageHosts(), ucl.DefaultConfig())
-		for _, p := range peers {
-			sys.Join(p)
-		}
-		find = func(p netmodel.HostID) (bool, netmodel.HostID, int, int) {
-			r := sys.FindNearest(p)
-			return r.Peer >= 0, r.Peer, r.Probes, r.Lookups
-		}
-		hops = func() int64 { return sys.Ring().Hops }
-	case "ipprefix":
-		sys := ipprefix.New(tools, addrs, ipprefix.DefaultConfig())
-		for _, p := range peers {
-			sys.Join(p)
-		}
-		find = func(p netmodel.HostID) (bool, netmodel.HostID, int, int) {
-			r := sys.FindNearest(p)
-			return r.Peer >= 0, r.Peer, r.Probes, r.Lookups
-		}
-		hops = func() int64 { return sys.Ring().Hops }
-	default:
-		panic(fmt.Sprintf("experiments: unknown mitigation scheme %q", scheme))
-	}
+	hs := setup(tools, addrs)
+	find, hops := hs.find, hs.hops
 
 	src := rng.New(seed + 3)
 	hopsAtStart := hops()
@@ -288,18 +324,91 @@ func nearestLivePeerMs(env *Env, peers []netmodel.HostID, target netmodel.HostID
 	return best
 }
 
-// RunWireMitigation stands the scheme up over the message runtime: a Chord
-// ring of all peers, hint publishing as wire Puts, then sequential queries
-// in virtual time — under the asked-for loss and churn. Peers that churn
-// back in republish their hints (soft state); hints of departed peers stay
-// behind and cost dead probes.
-func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
-	if opts.Scheme == "vivaldi" {
-		// The coordinate scheme runs its own overlay (gossip coordinates
-		// instead of a Chord ring of hints); same topology, same query
-		// stream, same scoring — see vivaldistudy.go.
-		return runWireVivaldiMitigation(env, peers, opts)
+// RunWireMitigation stands a scheme up over the message runtime and runs
+// sequential queries in virtual time under the asked-for loss and churn.
+// Dispatch goes through the scheme registry: the hint schemes publish over
+// a Chord ring of all peers, vivaldi gossips coordinates, the wired
+// finders (guyton, beaconing, tiers, pic, tapestry, azureus, kargerruhl,
+// rendezvous) drive their probes and control RPCs through the shared
+// FindResult harness. An unknown scheme (or one with no wire deployment)
+// returns an error naming the registry's roster.
+func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) (MitigationRow, error) {
+	s, err := schemeFor(opts.Scheme)
+	if err != nil {
+		return MitigationRow{}, err
 	}
+	if s.Wire == nil {
+		return MitigationRow{}, fmt.Errorf("experiments: scheme %q has no wire deployment", opts.Scheme)
+	}
+	return s.Wire(env, peers, opts), nil
+}
+
+// wireUCLMitigation is the ucl scheme's registry Wire leg.
+func wireUCLMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+	return runWireHintMitigation(env, peers, opts,
+		func(tools *measure.Tools, chord *p2p.Chord) hintWire {
+			w := ucl.NewWire(tools, chord, peers, env.VantageHosts(), ucl.DefaultConfig())
+			return hintWire{
+				publish: func(h netmodel.HostID, done func()) {
+					w.Publish(h, func(int) {
+						if done != nil {
+							done()
+						}
+					})
+				},
+				find: func(h netmodel.HostID, done func(hintFindScore)) {
+					w.FindNearest(h, func(r ucl.WireResult) {
+						done(hintFindScore{r.Found, r.Peer, r.Probes, r.DeadProbes, r.Lookups, r.Hops, r.LookupFails})
+					})
+				},
+			}
+		})
+}
+
+// wireIPPrefixMitigation is the ipprefix scheme's registry Wire leg.
+func wireIPPrefixMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+	return runWireHintMitigation(env, peers, opts,
+		func(tools *measure.Tools, chord *p2p.Chord) hintWire {
+			w := ipprefix.NewWire(tools, chord, peers, ipprefix.DefaultConfig())
+			return hintWire{
+				publish: func(h netmodel.HostID, done func()) {
+					w.Publish(h, func(bool) {
+						if done != nil {
+							done()
+						}
+					})
+				},
+				find: func(h netmodel.HostID, done func(hintFindScore)) {
+					w.FindNearest(h, func(r ipprefix.WireResult) {
+						done(hintFindScore{r.Found, r.Peer, r.Probes, r.DeadProbes, r.Lookups, r.Hops, r.LookupFails})
+					})
+				},
+			}
+		})
+}
+
+// hintFindScore is one hint-scheme wire query's outcome — the shared shape
+// of ucl.WireResult and ipprefix.WireResult.
+type hintFindScore struct {
+	found                              bool
+	peer                               netmodel.HostID
+	probes, dead, lookups, hops, fails int
+}
+
+// hintWire is what a hint scheme's wire setup returns: publish one peer's
+// hints; run one query.
+type hintWire struct {
+	publish func(h netmodel.HostID, done func())
+	find    func(h netmodel.HostID, done func(hintFindScore))
+}
+
+// runWireHintMitigation is the shared wire harness of the DHT hint
+// schemes: a Chord ring of all peers, hint publishing as wire Puts, then
+// sequential queries in virtual time — under the asked-for loss and churn.
+// Peers that churn back in republish their hints (soft state); hints of
+// departed peers stay behind and cost dead probes.
+func runWireHintMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts,
+	setup func(tools *measure.Tools, chord *p2p.Chord) hintWire) MitigationRow {
 	if opts.Horizon <= 0 {
 		opts.Horizon = 2 * time.Hour
 	}
@@ -324,45 +433,8 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)
 
 	// Scheme adapters: publish one peer's hints; run one query.
-	type findScore struct {
-		found                              bool
-		peer                               netmodel.HostID
-		probes, dead, lookups, hops, fails int
-	}
-	var publish func(h netmodel.HostID, done func())
-	var find func(h netmodel.HostID, done func(findScore))
-	switch opts.Scheme {
-	case "ucl":
-		w := ucl.NewWire(tools, chord, peers, env.VantageHosts(), ucl.DefaultConfig())
-		publish = func(h netmodel.HostID, done func()) {
-			w.Publish(h, func(int) {
-				if done != nil {
-					done()
-				}
-			})
-		}
-		find = func(h netmodel.HostID, done func(findScore)) {
-			w.FindNearest(h, func(r ucl.WireResult) {
-				done(findScore{r.Found, r.Peer, r.Probes, r.DeadProbes, r.Lookups, r.Hops, r.LookupFails})
-			})
-		}
-	case "ipprefix":
-		w := ipprefix.NewWire(tools, chord, peers, ipprefix.DefaultConfig())
-		publish = func(h netmodel.HostID, done func()) {
-			w.Publish(h, func(bool) {
-				if done != nil {
-					done()
-				}
-			})
-		}
-		find = func(h netmodel.HostID, done func(findScore)) {
-			w.FindNearest(h, func(r ipprefix.WireResult) {
-				done(findScore{r.Found, r.Peer, r.Probes, r.DeadProbes, r.Lookups, r.Hops, r.LookupFails})
-			})
-		}
-	default:
-		panic(fmt.Sprintf("experiments: unknown mitigation scheme %q", opts.Scheme))
-	}
+	hw := setup(tools, chord)
+	publish, find := hw.publish, hw.find
 
 	index := make(map[netmodel.HostID]p2p.NodeID, len(peers))
 	ids := make([]p2p.NodeID, len(peers))
@@ -404,7 +476,7 @@ func RunWireMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) M
 		if oracleMs <= mitigationNearMs {
 			nearDenom++
 		}
-		find(target, func(r findScore) {
+		find(target, func(r hintFindScore) {
 			complete(func() {
 				probes += int64(r.probes)
 				dead += int64(r.dead)
@@ -520,12 +592,19 @@ func MitigationStudy(scale Scale, seed int64) *MitigationStudyResult {
 		func(_ *engine.Trial, c mitigationCell) MitigationRow {
 			tools := measure.NewTools(env.Top, measure.DefaultConfig(), seed+1)
 			if c.cond.static {
-				return runStaticMitigationTools(env, tools, c.scheme, peers, queries, seed)
+				row, err := runStaticMitigationTools(env, tools, c.scheme, peers, queries, seed)
+				if err != nil {
+					panic(err) // the study's roster is registry-known
+				}
+				return row
 			}
-			row := RunWireMitigation(env, peers, MitigationOpts{
+			row, err := RunWireMitigation(env, peers, MitigationOpts{
 				Scheme: c.scheme, Loss: c.cond.loss, Churn: c.cond.churn,
 				Queries: queries, Seed: seed, Tools: tools,
 			})
+			if err != nil {
+				panic(err) // the study's roster is registry-known
+			}
 			row.Name = c.scheme + " " + c.cond.name
 			return row
 		})

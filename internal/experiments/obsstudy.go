@@ -13,7 +13,6 @@ import (
 	"nearestpeer/internal/rng"
 	"nearestpeer/internal/sim"
 	"nearestpeer/internal/stats"
-	"nearestpeer/internal/vivaldi"
 )
 
 // This file is the observability study (figure o1): the tail of the
@@ -176,88 +175,34 @@ func obsCell(m latency.Matrix, scheme string, cond wireCondition, members, targe
 	for i, id := range members {
 		ids[i] = p2p.NodeID(id)
 	}
-	src := rng.New(seed + 3)
-	liveMember := func() p2p.NodeID {
-		id := ids[src.Intn(len(ids))]
-		for tries := 0; tries < 20 && !rt.Alive(id); tries++ {
-			id = ids[src.Intn(len(ids))]
-		}
-		return id
-	}
 
-	// Scheme-specific bring-up: issue runs one lookup and reports whether
-	// it succeeded; queryStart is when the measurement phase begins.
-	var issue func(op int, done func(ok bool))
-	var onLeave func(id p2p.NodeID, graceful bool)
-	var onJoin func(id p2p.NodeID)
-	var queryStart time.Duration
-	switch scheme {
-	case "meridian":
-		mer := p2p.NewMeridian(rt, p2p.DefaultMeridianConfig(), seed+1)
-		for _, id := range ids {
-			mer.Join(id)
-		}
-		for _, id := range targets {
-			rt.AddNode(p2p.NodeID(id))
-		}
-		onLeave = func(id p2p.NodeID, graceful bool) { mer.Leave(id, graceful) }
-		onJoin = func(id p2p.NodeID) { mer.Join(id) }
-		// Join traffic drains within virtual seconds; one minute is far
-		// past overlay construction.
-		queryStart = time.Minute
-		issue = func(_ int, done func(bool)) {
-			tgt := p2p.NodeID(targets[src.Intn(len(targets))])
-			mer.FindNearest(tgt, tgt, func(res p2p.QueryResult) {
-				done(res.Completed && res.Peer >= 0)
-			})
-		}
-	case "chord":
-		ccfg := p2p.DefaultChordConfig()
-		ccfg.Horizon = obsStudyHorizon
-		chord := p2p.NewChord(rt, ccfg, seed+1)
-		joinEnd := chordJoinRamp(kernel, chord, ids, 0)
-		onLeave = func(id p2p.NodeID, graceful bool) { chord.Leave(id, graceful) }
-		onJoin = func(id p2p.NodeID) { chord.Join(id) }
-		queryStart = joinEnd + chordSettle
-		issue = func(op int, done func(bool)) {
-			chord.Lookup(liveMember(), fmt.Sprintf("o1/%d", op), func(res p2p.LookupResult) {
-				done(res.OK)
-			})
-		}
-	case "vivaldi":
-		wcfg := vivaldi.DefaultWireConfig()
-		wcfg.Horizon = obsStudyHorizon
-		w := vivaldi.NewWire(rt, wcfg, seed+1)
-		for _, id := range ids {
-			w.Join(id)
-		}
-		for _, id := range targets {
-			rt.AddNode(p2p.NodeID(id))
-		}
-		onLeave = func(id p2p.NodeID, graceful bool) { w.Leave(id, graceful) }
-		onJoin = func(id p2p.NodeID) { w.Join(id) }
-		queryStart = vivaldiWarmup
-		issue = func(_ int, done func(bool)) {
-			tgt := p2p.NodeID(targets[src.Intn(len(targets))])
-			w.FindNearest(tgt, func(r vivaldi.WireResult) { done(r.Found) })
-		}
-	default:
+	// Scheme bring-up via the registry: setup.issue runs one lookup and
+	// reports whether it succeeded; setup.queryStart is when the
+	// measurement phase begins.
+	s, err := schemeFor(scheme)
+	if err != nil || s.Lookup == nil {
 		panic("obsCell: unknown scheme " + scheme)
 	}
+	setup := s.Lookup(&lookupEnv{
+		kernel: kernel, rt: rt, ids: ids, targets: targets,
+		src: rng.New(seed + 3), horizon: obsStudyHorizon,
+		opLabel: "o1", seed: seed,
+	})
+	queryStart := setup.queryStart
 
 	var churn *p2p.Churn
 	if cond.churn {
 		ccfg := experimentChurnConfig()
 		ccfg.Horizon = obsStudyHorizon
 		churn = p2p.NewChurn(rt, ccfg, seed+2)
-		churn.OnLeave = onLeave
-		churn.OnJoin = onJoin
+		churn.OnLeave = setup.onLeave
+		churn.OnJoin = setup.onJoin
 	}
 
 	done := 0
 	startSeq, issued := sequenceOps(kernel, lookups, func(op int, _ func() bool, complete func(apply func())) {
 		issueAt := kernel.Now()
-		issue(op, func(ok bool) {
+		setup.issue(op, func(ok bool, _ int) {
 			complete(func() {
 				reg.ObserveLookupMs(float64(kernel.Now()-issueAt) / float64(time.Millisecond))
 				if ok {

@@ -1,0 +1,863 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"nearestpeer/internal/azureus"
+	"nearestpeer/internal/beacon"
+	"nearestpeer/internal/dht"
+	"nearestpeer/internal/kargerruhl"
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/measure"
+	"nearestpeer/internal/meridian"
+	"nearestpeer/internal/netmodel"
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/p2p"
+	"nearestpeer/internal/pic"
+	"nearestpeer/internal/rendezvous"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+	"nearestpeer/internal/tapestry"
+	"nearestpeer/internal/tiers"
+	"nearestpeer/internal/vivaldi"
+)
+
+// This file is the scheme registry: the single dispatch point for every
+// nearest-peer scheme the studies exercise. Each registered Scheme bundles
+// up to four study legs — the c2 static baseline, the c2 wire deployment,
+// the r1/o1 lookup bring-up, and the s1 scale cell — so the study files
+// enumerate scheme NAMES and the registry owns the bring-up. The four
+// copy-pasted scheme switches this replaced (mitigationstudy, faultstudy,
+// obsstudy, scalestudy) each grew independently; a scheme added here is
+// available to every study that asks for a leg it implements.
+
+// Scheme is one registered nearest-peer scheme: a bundle of study legs,
+// any of which may be nil when the scheme does not support that study.
+type Scheme struct {
+	// Static runs the function-call baseline through the c2 methodology
+	// (one row: probes and hops priced, no wire).
+	Static func(env *Env, tools *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow
+	// Wire runs the message-level deployment through the c2 methodology
+	// (one row: real RPCs over p2p.Runtime under loss/churn/faults).
+	Wire func(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow
+	// Lookup stands the scheme up for the cadenced lookup studies (r1/o1):
+	// bring-up on the cell's runtime, returning the query entry point.
+	Lookup func(le *lookupEnv) lookupSetup
+	// Scale runs one s1 cell over a (usually large) generated topology.
+	Scale func(top *netmodel.Topology, queries int, seed int64) ScaleCell
+}
+
+// schemeFor resolves a scheme name, with the full roster in the error.
+func schemeFor(name string) (Scheme, error) {
+	s, ok := schemes[name]
+	if !ok {
+		return Scheme{}, fmt.Errorf("experiments: unknown scheme %q (schemes: %s)",
+			name, strings.Join(SchemeNames(), ", "))
+	}
+	return s, nil
+}
+
+// SchemeNames lists every registered scheme, sorted.
+func SchemeNames() []string {
+	out := make([]string, 0, len(schemes))
+	for name := range schemes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupEnv is the per-cell context the lookup studies (r1/o1) hand a
+// scheme's Lookup leg: the cell's kernel and runtime, the member/target
+// split in matrix-index space, the shared query-time RNG, and the cell's
+// horizon and retry policy.
+type lookupEnv struct {
+	kernel  *sim.Sim
+	rt      *p2p.Runtime
+	ids     []p2p.NodeID
+	targets []int
+	src     *rng.Source
+	horizon time.Duration
+	retry   p2p.Policy
+	// opLabel namespaces the DHT keys a lookup scheme writes ("r1", "o1").
+	opLabel string
+	seed    int64
+}
+
+// liveMember draws a member, redrawing up to 20 times while the draw is
+// down (under heavy churn everyone may be down; the caller's op then fails
+// honestly).
+func (le *lookupEnv) liveMember() p2p.NodeID {
+	id := le.ids[le.src.Intn(len(le.ids))]
+	for tries := 0; tries < 20 && !le.rt.Alive(id); tries++ {
+		id = le.ids[le.src.Intn(len(le.ids))]
+	}
+	return id
+}
+
+// lookupSetup is what a Lookup leg returns: when the cadenced stream may
+// begin, how to issue one lookup (reporting success, the returned peer or
+// -1, and the issuing origin or -1 for stretch scoring), and the churn
+// hooks.
+type lookupSetup struct {
+	queryStart time.Duration
+	issue      func(op int, done func(ok bool, peer int)) (origin int)
+	onLeave    func(id p2p.NodeID, graceful bool)
+	onJoin     func(id p2p.NodeID)
+}
+
+// meridianLookup is the r1/o1 bring-up of the message-level Meridian walk.
+func meridianLookup(le *lookupEnv) lookupSetup {
+	mcfg := p2p.DefaultMeridianConfig()
+	mcfg.Retry = le.retry
+	mer := p2p.NewMeridian(le.rt, mcfg, le.seed+1)
+	for _, id := range le.ids {
+		mer.Join(id)
+	}
+	for _, id := range le.targets {
+		le.rt.AddNode(p2p.NodeID(id))
+	}
+	return lookupSetup{
+		// Join traffic drains within virtual seconds; one minute is far
+		// past overlay construction.
+		queryStart: time.Minute,
+		onLeave:    func(id p2p.NodeID, graceful bool) { mer.Leave(id, graceful) },
+		onJoin:     func(id p2p.NodeID) { mer.Join(id) },
+		issue: func(op int, done func(bool, int)) int {
+			tgt := p2p.NodeID(le.targets[le.src.Intn(len(le.targets))])
+			mer.FindNearest(tgt, tgt, func(res p2p.QueryResult) {
+				done(res.Completed && res.Peer >= 0, res.Peer)
+			})
+			return int(tgt)
+		},
+	}
+}
+
+// chordLookup is the r1/o1 bring-up of the wire Chord ring: each op is one
+// iterative lookup of a fresh key from a live member.
+func chordLookup(le *lookupEnv) lookupSetup {
+	ccfg := p2p.DefaultChordConfig()
+	ccfg.Horizon = le.horizon
+	ccfg.Retry = le.retry
+	chord := p2p.NewChord(le.rt, ccfg, le.seed+1)
+	joinEnd := chordJoinRamp(le.kernel, chord, le.ids, 0)
+	return lookupSetup{
+		queryStart: joinEnd + chordSettle,
+		onLeave:    func(id p2p.NodeID, graceful bool) { chord.Leave(id, graceful) },
+		onJoin:     func(id p2p.NodeID) { chord.Join(id) },
+		issue: func(op int, done func(bool, int)) int {
+			chord.Lookup(le.liveMember(), fmt.Sprintf("%s/%d", le.opLabel, op), func(res p2p.LookupResult) {
+				done(res.OK, -1)
+			})
+			return -1
+		},
+	}
+}
+
+// vivaldiLookup is the r1/o1 bring-up of the gossip coordinate overlay.
+func vivaldiLookup(le *lookupEnv) lookupSetup {
+	wcfg := vivaldi.DefaultWireConfig()
+	wcfg.Horizon = le.horizon
+	wcfg.Retry = le.retry
+	w := vivaldi.NewWire(le.rt, wcfg, le.seed+1)
+	for _, id := range le.ids {
+		w.Join(id)
+	}
+	for _, id := range le.targets {
+		le.rt.AddNode(p2p.NodeID(id))
+	}
+	return lookupSetup{
+		queryStart: vivaldiWarmup,
+		onLeave:    func(id p2p.NodeID, graceful bool) { w.Leave(id, graceful) },
+		onJoin:     func(id p2p.NodeID) { w.Join(id) },
+		issue: func(op int, done func(bool, int)) int {
+			tgt := p2p.NodeID(le.targets[le.src.Intn(len(le.targets))])
+			w.FindNearest(tgt, func(r vivaldi.WireResult) {
+				done(r.Found, int(r.Peer))
+			})
+			return int(tgt)
+		},
+	}
+}
+
+// runStaticFinderMitigation runs an overlay.Finder scheme's function-call
+// baseline through the c2 methodology: the finder is built over the
+// mitigation peers in matrix-index space (member i is peers[i]), one query
+// per draw, scored against the close-peer threshold. build receives the
+// row's base seed and must derive its own sub-seeds exactly as the
+// scheme's Wire leg does, so the two legs share structure at 0% loss.
+func runStaticFinderMitigation(env *Env, name string, peers []netmodel.HostID, queries int, seed int64,
+	build func(net *overlay.Network, members []int, seed int64) overlay.Finder) MitigationRow {
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	net := overlay.NewNetwork(m)
+	members := make([]int, len(peers))
+	for i := range peers {
+		members[i] = i
+	}
+	f := build(net, members, seed)
+	src := rng.New(seed + 3)
+	alive := func(netmodel.HostID) bool { return true }
+	row := MitigationRow{Name: name + " static (function calls)"}
+	found, near, nearDenom := 0, 0, 0
+	var probes, hops int64
+	var foundMs float64
+	for q := 0; q < queries; q++ {
+		idx := src.Intn(len(peers))
+		target := peers[idx]
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		res := f.FindNearest(idx)
+		probes += res.Probes
+		hops += int64(res.Hops)
+		if res.Peer >= 0 {
+			found++
+			trueMs := env.Top.RTTms(target, peers[res.Peer])
+			foundMs += trueMs
+			if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+				near++
+			}
+		}
+	}
+	n := float64(queries)
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(probes) / n
+	row.MeanHops = float64(hops) / n
+	return row
+}
+
+// wireFinderBringup is when the shared wire harness runs a deployment's
+// registration chain and starts queries: joins all land at t=0 and their
+// traffic drains within virtual seconds.
+const wireFinderBringup = time.Minute
+
+// wireDeployment is what a scheme's deploy step hands the shared wire
+// harness.
+type wireDeployment struct {
+	// join brings one member up (required); rejoin handles churn re-entry
+	// (nil: join again); leave handles churn exit (nil: no protocol exit —
+	// the member's soft state goes stale, as real directories do).
+	join   func(id p2p.NodeID)
+	rejoin func(id p2p.NodeID)
+	leave  func(id p2p.NodeID, graceful bool)
+	// bringup runs the post-join registration chain (directory Registers,
+	// tracker announces, ...) and must call done exactly once; nil when the
+	// scheme has no standing state beyond its handlers.
+	bringup func(done func())
+	// find runs one nearest-peer query from a member.
+	find func(client p2p.NodeID, done func(p2p.FindResult))
+}
+
+// runWireFinderMitigation is the shared c2 wire harness for the
+// FindResult-reporting scheme deployments: join everyone at t=0, run the
+// registration chain at the bring-up mark, bill the standing state to the
+// publish column, then the sequential query stream — queries issued by the
+// peers themselves — under the asked-for loss, churn and faults. The
+// deploy builds the scheme's base structure from opts.Seed exactly as the
+// static leg does, so the 0%-loss wire row mirrors the static row's
+// structure and draws.
+func runWireFinderMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts,
+	deploy func(rt *p2p.Runtime, net *overlay.Network, members []int, opts MitigationOpts) wireDeployment) MitigationRow {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 2 * time.Hour
+	}
+	kernel := sim.New()
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Recorder != nil {
+		rt.AttachRecorder(opts.Recorder)
+	}
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
+	}
+	// The deployment's base structure is built over a noiseless overlay of
+	// the same matrix — the identical build the static leg runs.
+	net := overlay.NewNetwork(m)
+	members := make([]int, len(peers))
+	for i := range peers {
+		members[i] = i
+	}
+	d := deploy(rt, net, members, opts)
+
+	index := make(map[netmodel.HostID]p2p.NodeID, len(peers))
+	ids := make([]p2p.NodeID, len(peers))
+	for i := range peers {
+		index[peers[i]] = p2p.NodeID(i)
+		ids[i] = p2p.NodeID(i)
+		d.join(p2p.NodeID(i))
+	}
+
+	var churn *p2p.Churn
+	if opts.Churn {
+		ccfg := opts.ChurnCfg
+		if ccfg.MeanSession == 0 {
+			ccfg = experimentChurnConfig()
+		}
+		ccfg.Horizon = opts.Horizon
+		churn = p2p.NewChurn(rt, ccfg, opts.Seed+2)
+		churn.OnLeave = d.leave
+		churn.OnJoin = d.rejoin
+		if churn.OnJoin == nil {
+			churn.OnJoin = d.join
+		}
+	}
+
+	row := MitigationRow{}
+	src := rng.New(opts.Seed + 3)
+	alive := func(h netmodel.HostID) bool { return rt.Alive(index[h]) }
+	found, near, nearDenom := 0, 0, 0
+	var probes, dead, hops, lookups, fails int64
+	var foundMs float64
+	var queryMsgsStart int64
+
+	startSeq, issued := sequenceOps(kernel, opts.Queries, func(_ int, _ func() bool, complete func(apply func())) {
+		target := peers[src.Intn(len(peers))]
+		for tries := 0; tries < 20 && !alive(target); tries++ {
+			target = peers[src.Intn(len(peers))]
+		}
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		d.find(index[target], func(r p2p.FindResult) {
+			complete(func() {
+				probes += int64(r.Probes)
+				dead += int64(r.DeadProbes)
+				hops += int64(r.Hops)
+				lookups += int64(r.RPCs)
+				fails += int64(r.RPCFails)
+				if r.Found {
+					found++
+					trueMs := env.Top.RTTms(target, peers[int(r.Peer)])
+					foundMs += trueMs
+					if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+						near++
+					}
+				}
+			})
+		})
+	})
+
+	startQueries := func() {
+		queryMsgsStart = rt.Metrics.MsgsSent
+		startSeq()
+	}
+	kernel.At(wireFinderBringup, func() {
+		afterBringup := func() {
+			// Everything sent so far is the scheme's standing-state bill:
+			// registrations and whatever bring-up cost the runtime charged.
+			row.PubMsgsPerPeer = float64(rt.Metrics.MsgsSent) / float64(len(peers))
+			if churn != nil {
+				churn.Drive(ids)
+				// Let the membership process bite before measuring queries.
+				kernel.After(30*time.Second, startQueries)
+				return
+			}
+			startQueries()
+		}
+		if d.bringup != nil {
+			d.bringup(afterBringup)
+			return
+		}
+		afterBringup()
+	})
+	kernel.At(opts.Horizon, kernel.Stop) // watchdog against a stalled chain
+	kernel.Run()
+
+	// Normalise by the queries actually issued: if the watchdog fired
+	// first, the unissued remainder must not be scored as failures.
+	n := float64(*issued)
+	if *issued == 0 {
+		n = 1
+	}
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(probes) / n
+	row.DeadProbes = dead
+	row.MeanLookups = float64(lookups) / n
+	row.MeanHops = float64(hops) / n
+	row.LookupFails = fails
+	row.MeanMsgs = float64(rt.Metrics.MsgsSent-queryMsgsStart) / n
+	row.Timeouts = rt.Metrics.Timeouts
+	if churn != nil {
+		row.Leaves, row.Joins = churn.Leaves, churn.Joins
+	}
+	return row
+}
+
+// findResultAdapter converts a static-result-shaped outcome into the
+// FindResult the wire harness scores, for wires whose protocol types
+// predate FindResult (meridian, expanding).
+func findResultAdapter(found bool, peer int, rttMs float64, probes, hops int) p2p.FindResult {
+	fr := p2p.FindResult{Peer: p2p.NoNode, Probes: probes, Hops: hops}
+	if found {
+		fr.Peer, fr.RTTms, fr.Found = p2p.NodeID(peer), rttMs, true
+	}
+	return fr
+}
+
+// runStaticExpandingMitigation is the expanding-ring search's function-call
+// analogue: per query, grow the multicast scope over the matrix until any
+// member sits inside it, charging one copy per in-scope member per round
+// (Runtime.Multicast's scope rule: RTT(target, m) <= radius, self
+// excluded). The answer is the earliest responder — the scope's
+// minimum-RTT member. Copies land in the probes column, rounds in hops.
+func runStaticExpandingMitigation(env *Env, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	cfg := p2p.DefaultExpandConfig()
+	src := rng.New(seed + 3)
+	alive := func(netmodel.HostID) bool { return true }
+	row := MitigationRow{Name: "expanding static (function calls)"}
+	found, near, nearDenom := 0, 0, 0
+	var copies, rounds int64
+	var foundMs float64
+	for q := 0; q < queries; q++ {
+		idx := src.Intn(len(peers))
+		target := peers[idx]
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		best, bestMs := -1, 0.0
+		radius := cfg.InitialRadiusMs
+		for r := 0; r < cfg.Rounds; r++ {
+			rounds++
+			for j := range peers {
+				if j == idx {
+					continue
+				}
+				if d := m.LatencyMs(idx, j); d <= radius {
+					copies++
+					if best < 0 || d < bestMs {
+						best, bestMs = j, d
+					}
+				}
+			}
+			if best >= 0 {
+				break
+			}
+			radius *= cfg.RadiusMult
+		}
+		if best >= 0 {
+			found++
+			trueMs := env.Top.RTTms(target, peers[best])
+			foundMs += trueMs
+			if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+				near++
+			}
+		}
+	}
+	n := float64(queries)
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanProbes = float64(copies) / n
+	row.MeanHops = float64(rounds) / n
+	return row
+}
+
+// runStaticChordMitigation is the substrate-as-finder baseline: a dht.Ring
+// of the peers' addresses, each query one routed resolution of a fresh
+// key. The ring resolves keys, not proximity — a query "finds" whichever
+// peer owns its key, and the row's p(near) reads like random assignment,
+// which is exactly the point the grand table makes about raw DHTs.
+func runStaticChordMitigation(env *Env, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+	addrs := make([]string, len(peers))
+	byAddr := make(map[string]int, len(peers))
+	for i, p := range peers {
+		addrs[i] = env.Top.Host(p).IP.String()
+		byAddr[addrs[i]] = i
+	}
+	ring := dht.New(addrs)
+	src := rng.New(seed + 3)
+	alive := func(netmodel.HostID) bool { return true }
+	row := MitigationRow{Name: "chord static (function calls)"}
+	hopsAtStart, lookupsAtStart := ring.Hops, ring.Lookups
+	found, near, nearDenom := 0, 0, 0
+	var foundMs float64
+	for q := 0; q < queries; q++ {
+		idx := src.Intn(len(peers))
+		target := peers[idx]
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		key := fmt.Sprintf("g1/%d", q)
+		ring.Get(key) // route to the owner, charging the ring's hop bill
+		owner := byAddr[ring.OwnerOf(key)]
+		if owner != idx {
+			found++
+			trueMs := env.Top.RTTms(target, peers[owner])
+			foundMs += trueMs
+			if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+				near++
+			}
+		}
+	}
+	n := float64(queries)
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanLookups = float64(ring.Lookups-lookupsAtStart) / n
+	row.MeanHops = float64(ring.Hops-hopsAtStart) / n
+	return row
+}
+
+// runWireChordMitigation prices the substrate itself through the c2
+// methodology: a wire Chord ring of the peers, each query one iterative
+// Lookup of a fresh key from a live peer, found meaning the owner resolved
+// to somebody else. Same join ramp, settle, churn hooks and scoring as the
+// hint schemes — minus their hints.
+func runWireChordMitigation(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+	if opts.Horizon <= 0 {
+		opts.Horizon = 2 * time.Hour
+	}
+	kernel := sim.New()
+	m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+	rt := p2p.New(kernel, m, p2p.Config{LossProb: opts.Loss}, opts.Seed)
+	if opts.Recorder != nil {
+		rt.AttachRecorder(opts.Recorder)
+	}
+	if opts.Faults != nil {
+		p2p.NewFaultTransport(rt, opts.Faults)
+	}
+	ccfg := p2p.DefaultChordConfig()
+	ccfg.Horizon = opts.Horizon
+	chord := p2p.NewChord(rt, ccfg, opts.Seed+1)
+
+	index := make(map[netmodel.HostID]p2p.NodeID, len(peers))
+	ids := make([]p2p.NodeID, len(peers))
+	for i, h := range peers {
+		index[h] = p2p.NodeID(i)
+		ids[i] = p2p.NodeID(i)
+	}
+	joinEnd := chordJoinRamp(kernel, chord, ids, 0)
+
+	var churn *p2p.Churn
+	if opts.Churn {
+		ccfg := opts.ChurnCfg
+		if ccfg.MeanSession == 0 {
+			ccfg = experimentChurnConfig()
+		}
+		ccfg.Horizon = opts.Horizon
+		churn = p2p.NewChurn(rt, ccfg, opts.Seed+2)
+		churn.OnLeave = func(id p2p.NodeID, graceful bool) { chord.Leave(id, graceful) }
+		churn.OnJoin = func(id p2p.NodeID) { chord.Join(id) }
+	}
+
+	row := MitigationRow{}
+	src := rng.New(opts.Seed + 3)
+	alive := func(h netmodel.HostID) bool { return rt.Alive(index[h]) }
+	found, near, nearDenom := 0, 0, 0
+	var hops, lookups, fails int64
+	var foundMs float64
+	var queryMsgsStart int64
+
+	startSeq, issued := sequenceOps(kernel, opts.Queries, func(op int, _ func() bool, complete func(apply func())) {
+		target := peers[src.Intn(len(peers))]
+		for tries := 0; tries < 20 && !alive(target); tries++ {
+			target = peers[src.Intn(len(peers))]
+		}
+		oracleMs := nearestLivePeerMs(env, peers, target, alive)
+		if oracleMs <= mitigationNearMs {
+			nearDenom++
+		}
+		chord.Lookup(index[target], fmt.Sprintf("g1/%d", op), func(res p2p.LookupResult) {
+			complete(func() {
+				lookups++
+				hops += int64(res.Hops)
+				if !res.OK {
+					fails++
+				}
+				if res.OK && res.Owner != index[target] {
+					found++
+					trueMs := env.Top.RTTms(target, peers[int(res.Owner)])
+					foundMs += trueMs
+					if trueMs <= mitigationNearMs && oracleMs <= mitigationNearMs {
+						near++
+					}
+				}
+			})
+		})
+	})
+
+	startQueries := func() {
+		queryMsgsStart = rt.Metrics.MsgsSent
+		startSeq()
+	}
+	kernel.At(joinEnd+chordSettle, func() {
+		// The ring's bring-up (joins plus stabilization) is its standing
+		// state: there are no hints to publish, the ring IS the state.
+		row.PubMsgsPerPeer = float64(rt.Metrics.MsgsSent) / float64(len(peers))
+		if churn != nil {
+			churn.Drive(ids)
+			kernel.After(30*time.Second, startQueries)
+			return
+		}
+		startQueries()
+	})
+	kernel.At(opts.Horizon, kernel.Stop) // watchdog against a stalled chain
+	kernel.Run()
+
+	n := float64(*issued)
+	if *issued == 0 {
+		n = 1
+	}
+	row.Found = float64(found) / n
+	row.NearDenom = nearDenom
+	if nearDenom > 0 {
+		row.PNear = float64(near) / float64(nearDenom)
+	}
+	if found > 0 {
+		row.MeanFoundMs = foundMs / float64(found)
+	}
+	row.MeanLookups = float64(lookups) / n
+	row.MeanHops = float64(hops) / n
+	row.LookupFails = fails
+	row.MeanMsgs = float64(rt.Metrics.MsgsSent-queryMsgsStart) / n
+	row.Timeouts = rt.Metrics.Timeouts
+	if churn != nil {
+		row.Leaves, row.Joins = churn.Leaves, churn.Joins
+	}
+	return row
+}
+
+// finderLeg is one finderScheme entry's build/wire pair, kept in
+// finderLegs so the differential tests can drive single queries through
+// the exact legs the studies run.
+type finderLeg struct {
+	build func(net *overlay.Network, members []int, seed int64) overlay.Finder
+	wire  func(rt *p2p.Runtime, base overlay.Finder) wireDeployment
+}
+
+var finderLegs = map[string]finderLeg{}
+
+// finderScheme builds the common Static+Wire pair for a scheme whose base
+// structure implements overlay.Finder and whose wire deployment reports
+// FindResult: build constructs the base (deriving sub-seeds from the row
+// seed), wire wraps it for the runtime. Both legs call build with the same
+// seed over the same matrix, so they share structure and draws.
+func finderScheme(name string,
+	build func(net *overlay.Network, members []int, seed int64) overlay.Finder,
+	wire func(rt *p2p.Runtime, base overlay.Finder) wireDeployment) Scheme {
+	finderLegs[name] = finderLeg{build, wire}
+	return Scheme{
+		Static: func(env *Env, _ *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+			return runStaticFinderMitigation(env, name, peers, queries, seed, build)
+		},
+		Wire: func(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+			return runWireFinderMitigation(env, peers, opts,
+				func(rt *p2p.Runtime, net *overlay.Network, members []int, o MitigationOpts) wireDeployment {
+					return wire(rt, build(net, members, o.Seed))
+				})
+		},
+	}
+}
+
+// schemes is the registry. Studies enumerate their own scheme lists (the
+// golden figures pin row order); this map owns the bring-up.
+var schemes = map[string]Scheme{
+	"meridian": {
+		Static: func(env *Env, _ *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+			return runStaticFinderMitigation(env, "meridian", peers, queries, seed,
+				func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+					mc := meridian.DefaultConfig()
+					mc.CandidatesPerNode = len(members)
+					return meridian.New(net, members, mc, seed+1)
+				})
+		},
+		Wire: func(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+			return runWireFinderMitigation(env, peers, opts,
+				func(rt *p2p.Runtime, _ *overlay.Network, _ []int, o MitigationOpts) wireDeployment {
+					mer := p2p.NewMeridian(rt, p2p.DefaultMeridianConfig(), o.Seed+1)
+					return wireDeployment{
+						join:   mer.Join,
+						rejoin: mer.Join,
+						leave:  mer.Leave,
+						find: func(client p2p.NodeID, done func(p2p.FindResult)) {
+							mer.FindNearest(client, client, func(res p2p.QueryResult) {
+								done(findResultAdapter(res.Completed && res.Peer >= 0,
+									res.Peer, res.LatencyMs, int(res.Probes), res.Hops))
+							})
+						},
+					}
+				})
+		},
+		Lookup: meridianLookup,
+		Scale: func(top *netmodel.Topology, queries int, seed int64) ScaleCell {
+			m := (&latency.FullTopologyMatrix{Top: top}).EnableRTTCache(0)
+			return scaleMeridianCell(m, queries, seed)
+		},
+	},
+	"expanding": {
+		Static: func(env *Env, _ *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+			return runStaticExpandingMitigation(env, peers, queries, seed)
+		},
+		Wire: func(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+			return runWireFinderMitigation(env, peers, opts,
+				func(rt *p2p.Runtime, _ *overlay.Network, _ []int, _ MitigationOpts) wireDeployment {
+					ex := p2p.NewExpanding(rt, p2p.DefaultExpandConfig())
+					return wireDeployment{
+						join: ex.Register,
+						find: func(client p2p.NodeID, done func(p2p.FindResult)) {
+							ex.Search(client, func(res p2p.ExpandResult) {
+								done(findResultAdapter(res.Found, res.Peer, res.RTTms,
+									res.Messages, res.Rounds))
+							})
+						},
+					}
+				})
+		},
+		Scale: scaleExpandingCell,
+	},
+	"chord": {
+		Static: func(env *Env, _ *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+			return runStaticChordMitigation(env, peers, queries, seed)
+		},
+		Wire:   runWireChordMitigation,
+		Lookup: chordLookup,
+		Scale:  scaleChordCell,
+	},
+	"ucl": {
+		Static: staticUCLMitigation,
+		Wire:   wireUCLMitigation,
+	},
+	"ipprefix": {
+		Static: staticIPPrefixMitigation,
+		Wire:   wireIPPrefixMitigation,
+	},
+	"vivaldi": {
+		Static: func(env *Env, _ *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+			// The coordinate scheme has no DHT and no measurement toolkit —
+			// its baseline reads RTTs off the matrix oracle directly.
+			return runStaticVivaldiMitigation(env, peers, queries, seed)
+		},
+		Wire:   runWireVivaldiMitigation,
+		Lookup: vivaldiLookup,
+	},
+	"guyton": finderScheme("guyton",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			return &beacon.GuytonSchwartz{Inf: beacon.New(net, members, beacon.DefaultConfig(), seed+1)}
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := beacon.NewWire(rt, base.(*beacon.GuytonSchwartz).Inf)
+			return wireDeployment{join: w.Join, find: w.FindNearestGS}
+		}),
+	"beaconing": finderScheme("beaconing",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			return &beacon.Beaconing{Inf: beacon.New(net, members, beacon.DefaultConfig(), seed+1)}
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := beacon.NewWire(rt, base.(*beacon.Beaconing).Inf)
+			return wireDeployment{join: w.Join, find: w.FindNearestBeaconing}
+		}),
+	"tiers": finderScheme("tiers",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			return tiers.New(net, members, tiers.DefaultConfig(), seed+1)
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := tiers.NewWire(rt, base.(*tiers.Hierarchy))
+			return wireDeployment{join: w.Join, find: w.FindNearest}
+		}),
+	"pic": finderScheme("pic",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			sys := vivaldi.Build(net, members, vivaldi.DefaultConfig(), seed+1)
+			return pic.New(sys, pic.DefaultConfig(), seed+2)
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := pic.NewWire(rt, base.(*pic.Finder))
+			return wireDeployment{join: w.Join, find: w.FindNearest}
+		}),
+	"tapestry": finderScheme("tapestry",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			return tapestry.New(net, members, tapestry.DefaultConfig(), seed+1)
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := tapestry.NewWire(rt, base.(*tapestry.Overlay))
+			return wireDeployment{join: w.Join, find: w.FindNearest}
+		}),
+	"azureus": finderScheme("azureus",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			return azureus.NewFinder(net, members, azureus.DefaultFinderConfig(), seed+1)
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := azureus.NewWire(rt, base.(*azureus.Finder))
+			return wireDeployment{join: w.Join, find: w.FindNearest}
+		}),
+	"kargerruhl": finderScheme("kargerruhl",
+		func(net *overlay.Network, members []int, seed int64) overlay.Finder {
+			return kargerruhl.New(net, members, kargerruhl.DefaultConfig(), seed+1)
+		},
+		func(rt *p2p.Runtime, base overlay.Finder) wireDeployment {
+			w := kargerruhl.NewWire(rt, base.(*kargerruhl.Overlay))
+			return wireDeployment{join: w.Join, find: w.FindNearest}
+		}),
+	"rendezvous": {
+		Static: func(env *Env, _ *measure.Tools, peers []netmodel.HostID, queries int, seed int64) MitigationRow {
+			return runStaticFinderMitigation(env, "rendezvous", peers, queries, seed,
+				func(net *overlay.Network, members []int, _ int64) overlay.Finder {
+					return rendezvous.NewDirectory(net, members, rendezvousENOf(env, peers))
+				})
+		},
+		Wire: func(env *Env, peers []netmodel.HostID, opts MitigationOpts) MitigationRow {
+			return runWireFinderMitigation(env, peers, opts,
+				func(rt *p2p.Runtime, net *overlay.Network, members []int, _ MitigationOpts) wireDeployment {
+					w := rendezvous.NewWire(rt, rendezvous.NewDirectory(net, members, rendezvousENOf(env, peers)))
+					return wireDeployment{
+						join: w.Join,
+						rejoin: func(id p2p.NodeID) {
+							w.Join(id)
+							w.Register(id, nil) // soft state: re-register on rejoin
+						},
+						bringup: func(done func()) {
+							// Sequential registration chain: every member
+							// records itself with its end network's server.
+							var next func(i int)
+							next = func(i int) {
+								if i >= len(members) {
+									done()
+									return
+								}
+								w.Register(p2p.NodeID(members[i]), func(bool) { next(i + 1) })
+							}
+							next(0)
+						},
+						find: w.FindNearest,
+					}
+				})
+		},
+	},
+}
+
+// rendezvousENOf maps a member index to its end-network id on the
+// measurement topology — the equality the rendezvous directory keys on.
+func rendezvousENOf(env *Env, peers []netmodel.HostID) func(m int) int {
+	return func(m int) int { return int(env.Top.Host(peers[m]).EN) }
+}

@@ -192,14 +192,8 @@ func ScaleStudyAt(sizes []int, queries int, seed int64) *ScaleStudyResult {
 			// determinism contract.
 			start := time.Now()
 			var cell ScaleCell
-			switch s.algo {
-			case "meridian":
-				m := (&latency.FullTopologyMatrix{Top: s.top}).EnableRTTCache(0)
-				cell = scaleMeridianCell(m, queries, seed)
-			case "expanding":
-				cell = scaleExpandingCell(s.top, queries, seed)
-			case "chord":
-				cell = scaleChordCell(s.top, queries, seed)
+			if sch, err := schemeFor(s.algo); err == nil && sch.Scale != nil {
+				cell = sch.Scale(s.top, queries, seed)
 			}
 			cell.Algo = s.algo
 			cell.Nominal = s.nominal

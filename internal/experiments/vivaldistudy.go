@@ -171,10 +171,13 @@ func VivaldiStudyAt(sizes []int, queries int, scale Scale, seed int64) *VivaldiS
 			if c.static {
 				return runStaticVivaldiMitigation(env, peers, mitQueries, seed)
 			}
-			row := RunWireMitigation(env, peers, MitigationOpts{
+			row, err := RunWireMitigation(env, peers, MitigationOpts{
 				Scheme: "vivaldi", Loss: c.loss, Churn: c.churn,
 				Queries: mitQueries, Seed: seed,
 			})
+			if err != nil {
+				panic(err) // "vivaldi" is registry-known
+			}
 			row.Name = "vivaldi " + c.name
 			return row
 		})

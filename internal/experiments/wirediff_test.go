@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"nearestpeer/internal/latency"
+	"nearestpeer/internal/overlay"
+	"nearestpeer/internal/p2p"
+	"nearestpeer/internal/rendezvous"
+	"nearestpeer/internal/rng"
+	"nearestpeer/internal/sim"
+)
+
+// TestWireFindersMatchStaticLossless is the differential acceptance test of
+// the wired algorithm zoo: at 0% loss with no churn, every wired finder
+// must return the exact peer its static oracle returns for the same query
+// stream — the wire may charge messages and virtual time, but it must not
+// change the answer. Each scheme gets two same-seed base structures over
+// the same matrix (one queried statically, one driven through its registry
+// wire deployment), so per-query RNG draws align and any divergence is a
+// protocol bug, not noise.
+func TestWireFindersMatchStaticLossless(t *testing.T) {
+	env := SharedEnv(Quick, 1)
+	peers := MitigationPeers(env, 80)
+	const queries = 12
+	const seed = int64(1)
+
+	members := make([]int, len(peers))
+	for i := range peers {
+		members[i] = i
+	}
+	targets := make([]int, queries)
+	src := rng.New(seed + 3)
+	for i := range targets {
+		targets[i] = src.Intn(len(peers))
+	}
+
+	type diffCase struct {
+		name   string
+		deploy func(m latency.Matrix, rt *p2p.Runtime) (static overlay.Finder, d wireDeployment)
+	}
+	var cases []diffCase
+	for _, name := range []string{"guyton", "beaconing", "tiers", "pic", "tapestry", "azureus", "kargerruhl"} {
+		leg, ok := finderLegs[name]
+		if !ok {
+			t.Fatalf("scheme %q is not a finderScheme entry", name)
+		}
+		cases = append(cases, diffCase{name, func(m latency.Matrix, rt *p2p.Runtime) (overlay.Finder, wireDeployment) {
+			static := leg.build(overlay.NewNetwork(m), members, seed)
+			return static, leg.wire(rt, leg.build(overlay.NewNetwork(m), members, seed))
+		}})
+	}
+	// rendezvous is not a finderScheme (its directory keys on end networks
+	// and its wire has a registration bring-up), so mirror its registry
+	// deploy by hand.
+	cases = append(cases, diffCase{"rendezvous", func(m latency.Matrix, rt *p2p.Runtime) (overlay.Finder, wireDeployment) {
+		static := rendezvous.NewDirectory(overlay.NewNetwork(m), members, rendezvousENOf(env, peers))
+		w := rendezvous.NewWire(rt, rendezvous.NewDirectory(overlay.NewNetwork(m), members, rendezvousENOf(env, peers)))
+		return static, wireDeployment{
+			join: w.Join,
+			bringup: func(done func()) {
+				var next func(i int)
+				next = func(i int) {
+					if i >= len(members) {
+						done()
+						return
+					}
+					w.Register(p2p.NodeID(members[i]), func(bool) { next(i + 1) })
+				}
+				next(0)
+			},
+			find: w.FindNearest,
+		}
+	}})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := (&latency.TopologyMatrix{Top: env.Top, Hosts: peers}).EnableRTTCache(0)
+			kernel := sim.New()
+			rt := p2p.New(kernel, m, p2p.Config{}, seed)
+			static, d := tc.deploy(m, rt)
+			for i := range members {
+				d.join(p2p.NodeID(i))
+			}
+
+			wirePeer := make([]int, queries)
+			q := 0
+			var step func()
+			step = func() {
+				if q >= queries {
+					kernel.Stop()
+					return
+				}
+				slot := q
+				q++
+				d.find(p2p.NodeID(targets[slot]), func(r p2p.FindResult) {
+					wirePeer[slot] = -1
+					if r.Found {
+						wirePeer[slot] = int(r.Peer)
+					}
+					kernel.After(100*time.Millisecond, step)
+				})
+			}
+			kernel.At(wireFinderBringup, func() {
+				if d.bringup != nil {
+					d.bringup(step)
+					return
+				}
+				step()
+			})
+			kernel.At(time.Hour, kernel.Stop) // watchdog
+			kernel.Run()
+			if q < queries {
+				t.Fatalf("wire run stalled after %d/%d queries", q, queries)
+			}
+
+			for i, idx := range targets {
+				res := static.FindNearest(idx)
+				want := -1
+				if res.Peer >= 0 {
+					want = res.Peer
+				}
+				if wirePeer[i] != want {
+					t.Errorf("query %d (from member %d): wire returned peer %d, static oracle returned %d",
+						i, idx, wirePeer[i], want)
+				}
+			}
+		})
+	}
+}

@@ -143,6 +143,12 @@ func (o *Overlay) scaleFor(d float64) int {
 	if d <= o.cfg.BaseMs {
 		return 0
 	}
+	if math.IsInf(d, 1) {
+		// No distance estimate yet (the walk started at the searcher
+		// itself): look in the widest balls. int(Ceil(Log2(+Inf))) would
+		// be garbage, not a clamp.
+		return o.cfg.Scales - 1
+	}
 	i := int(math.Ceil(math.Log2(d / o.cfg.BaseMs)))
 	if i >= o.cfg.Scales {
 		i = o.cfg.Scales - 1
@@ -153,13 +159,20 @@ func (o *Overlay) scaleFor(d float64) int {
 // FindNearest implements overlay.Finder.
 func (o *Overlay) FindNearest(target int) overlay.Result {
 	cur := o.members[o.src.Intn(len(o.members))]
-	visited := map[int]bool{cur: true}
+	visited := map[int]bool{cur: true, target: true}
 	var probes int64
 	hops := 0
 
-	d := o.net.Probe(cur, target)
-	probes++
-	bestID, bestLat := cur, d
+	// The walk can start at the searcher itself (it is a member too): its
+	// ball samples still steer the walk from the widest scale, but it is
+	// not a candidate and costs no probe.
+	d := math.Inf(1)
+	bestID, bestLat := -1, d
+	if cur != target {
+		d = o.net.Probe(cur, target)
+		probes++
+		bestID, bestLat = cur, d
+	}
 
 	for hops < o.cfg.MaxHops {
 		n := o.nodes[cur]

@@ -419,23 +419,32 @@ func (o *Overlay) FindNearest(target int) overlay.Result {
 
 func (o *Overlay) findFrom(start, target int) overlay.Result {
 	cur := start
-	visited := map[int]bool{cur: true}
+	visited := map[int]bool{cur: true, target: true}
 	var probes int64
 	hops := 0
 
-	d := o.net.Probe(cur, target)
-	probes++
-	bestID, bestLat := cur, d
+	// The query can start at the searcher itself (it is a member too): its
+	// rings still steer the first hop, but it is not a candidate and costs
+	// no probe.
+	d := math.Inf(1)
+	bestID, bestLat := -1, d
+	if cur != target {
+		d = o.net.Probe(cur, target)
+		probes++
+		bestID, bestLat = cur, d
+	}
 
 	for hops < o.maxHops {
 		n := o.nodes[cur]
 		lo, hi := (1-o.cfg.Beta)*d, (1+o.cfg.Beta)*d
 
-		// Collect ring members at about the target's distance.
+		// Collect ring members at about the target's distance. With no
+		// distance estimate yet (the query started at the searcher itself)
+		// every ring member is a candidate.
 		var cands []int
 		for _, ring := range n.rings {
 			for _, m := range ring {
-				if l := n.ringLat[m]; l >= lo && l <= hi && !visited[m] {
+				if l := n.ringLat[m]; (math.IsInf(d, 1) || (l >= lo && l <= hi)) && !visited[m] {
 					cands = append(cands, m)
 				}
 			}

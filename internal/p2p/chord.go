@@ -162,6 +162,9 @@ func NewChord(rt Transport, cfg ChordConfig, seed int64) *Chord {
 	if cfg.SuccListLen <= 0 || cfg.StabilizeEvery <= 0 || cfg.Replicas <= 0 || cfg.RPCTimeout <= 0 || cfg.MaxHops <= 0 {
 		panic(fmt.Sprintf("p2p: invalid chord config %+v", cfg))
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		panic(err)
+	}
 	n := rt.Population()
 	c := &Chord{
 		rt:      rt,

@@ -115,6 +115,9 @@ func NewExpanding(rt Transport, cfg ExpandConfig) *Expanding {
 	if cfg.Rounds <= 0 || cfg.RoundTimeout <= 0 || cfg.InitialRadiusMs <= 0 || cfg.RadiusMult <= 1 {
 		panic(fmt.Sprintf("p2p: invalid expand config %+v", cfg))
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		panic(err)
+	}
 	return &Expanding{rt: rt, cfg: cfg, byClient: make([]expandSlot, rt.Population())}
 }
 

@@ -1,0 +1,32 @@
+// FindResult — the scheme-independent outcome of a wire nearest-peer
+// query. The per-scheme Wire types under internal/{beacon,tiers,pic,
+// tapestry,azureus,kargerruhl,rendezvous} all report through it, which is
+// what lets the experiments' scheme registry score every scheme with one
+// code path.
+
+package p2p
+
+// FindResult reports a wire nearest-peer query's outcome and cost. Counters
+// follow the overlay package's methodology: Probes is the cost the paper
+// bounds (query-time RTT measurements), RPCs the scheme's own control
+// messages (hint fetches, walk handoffs, directory reads), each a
+// request/response pair the runtime prices and can lose.
+type FindResult struct {
+	// Peer is the closest responsive candidate found (NoNode if none).
+	Peer NodeID
+	// RTTms is the wire-measured RTT to Peer.
+	RTTms float64
+	// Probes counts candidate pings issued (paid whether or not answered);
+	// DeadProbes the ones that timed out — stale candidates, loss, death.
+	Probes     int
+	DeadProbes int
+	// RPCs counts scheme control requests issued; RPCFails the ones whose
+	// every attempt expired unanswered.
+	RPCs     int
+	RPCFails int
+	// Hops counts the scheme's descent/walk steps (same meaning as the
+	// static overlay.Result's Hops).
+	Hops int
+	// Found reports whether any candidate answered.
+	Found bool
+}

@@ -162,6 +162,9 @@ func NewMeridian(rt Transport, cfg MeridianConfig, seed int64) *Meridian {
 	if cfg.RingSize <= 0 || cfg.NumRings <= 0 || cfg.RingBase <= 0 || cfg.RingMult <= 1 || cfg.Beta <= 0 {
 		panic(fmt.Sprintf("p2p: invalid meridian config %+v", cfg))
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		panic(err)
+	}
 	return &Meridian{
 		rt:      rt,
 		cfg:     cfg,
@@ -452,6 +455,15 @@ func (m *Meridian) handleQuery(n *Node, env Envelope) {
 		m.probePhase(n, st, q)
 		return
 	}
+	if q.Target == n.ID {
+		// The entry point is the searcher itself (the searcher can be a
+		// member): it is not a candidate for its own query and has no
+		// distance estimate yet, so every ring member is a first-hop
+		// candidate.
+		q.D = math.Inf(1)
+		m.probePhase(n, st, q)
+		return
+	}
 	pingAt := m.rt.Now(n.ID)
 	n.Ping(q.Target, m.cfg.RPCTimeout, false, func(rtt float64, ok bool) {
 		if rec := m.rt.FlightRecorder(); rec != nil {
@@ -494,8 +506,13 @@ func (m *Meridian) probePhase(n *Node, st *meridianState, q queryMsg) {
 	var cands []NodeID
 	for _, c := range st.ringPeers() {
 		// Suspect peers (repeated exhausted retries) are demoted out of the
-		// probe set; with retries disabled Suspect is always false.
-		if l := st.ringLat[c]; l >= lo && l <= hi && !visited[c] && !n.Suspect(c, m.cfg.Retry) {
+		// probe set, and the searcher is never a candidate for its own
+		// query; with no distance estimate yet (q.D infinite) every ring
+		// member is in band.
+		if c == q.Target {
+			continue
+		}
+		if l := st.ringLat[c]; (math.IsInf(q.D, 1) || (l >= lo && l <= hi)) && !visited[c] && !n.Suspect(c, m.cfg.Retry) {
 			cands = append(cands, c)
 		}
 	}

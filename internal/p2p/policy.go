@@ -14,7 +14,10 @@
 
 package p2p
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Policy configures per-RPC retries. The zero value disables retries
 // (one attempt, caller's timeout), so embedding a Policy in a protocol
@@ -41,6 +44,30 @@ type Policy struct {
 
 // Enabled reports whether the policy actually retries.
 func (p Policy) Enabled() bool { return p.Attempts > 1 }
+
+// Validate checks the policy's knobs. JitterFrac must be a fraction in
+// [0,1]: the jitter draw multiplies the backoff by 1 + JitterFrac*(2u-1)
+// with u in [0,1), so any larger fraction can price a negative delay —
+// a retry scheduled in the past. Durations must not be negative and a
+// set Multiplier must be at least 1 (zero means "use the default").
+// Protocol constructors reject an invalid embedded policy up front, so a
+// typo'd knob fails at construction instead of surfacing as a kernel
+// assert deep in a retry chain.
+func (p Policy) Validate() error {
+	if p.JitterFrac < 0 || p.JitterFrac > 1 {
+		return fmt.Errorf("p2p: retry jitter fraction %v out of [0,1]", p.JitterFrac)
+	}
+	if p.BaseBackoff < 0 {
+		return fmt.Errorf("p2p: negative retry base backoff %v", p.BaseBackoff)
+	}
+	if p.PerTryTimeout < 0 {
+		return fmt.Errorf("p2p: negative retry per-try timeout %v", p.PerTryTimeout)
+	}
+	if p.Multiplier != 0 && p.Multiplier < 1 {
+		return fmt.Errorf("p2p: retry backoff multiplier %v below 1", p.Multiplier)
+	}
+	return nil
+}
 
 // demoteAfter is the suspicion threshold with the default applied.
 func (p Policy) demoteAfter() int {
@@ -81,6 +108,11 @@ func (p Policy) backoff(id NodeID, seq uint64, attempt int) time.Duration {
 	if p.JitterFrac > 0 {
 		u := retryMix(uint64(id), seq, uint64(attempt))
 		d *= 1 + p.JitterFrac*(2*u-1)
+	}
+	if d < 0 {
+		// Defense in depth: Validate rejects JitterFrac > 1, but a policy
+		// that skipped validation must still never schedule in the past.
+		d = 0
 	}
 	return time.Duration(d)
 }

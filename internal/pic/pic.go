@@ -149,6 +149,9 @@ func (f *Finder) FindNearest(target int) overlay.Result {
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
+		if id == target {
+			continue // the searcher itself can be a member; it is not a candidate
+		}
 		l := f.sys.Net().Probe(target, id)
 		probes++
 		if l < bestLat {

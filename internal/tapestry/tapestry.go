@@ -153,6 +153,13 @@ func (o *Overlay) FindNearest(target int) overlay.Result {
 		if l, ok := probed[id]; ok {
 			return l
 		}
+		if id == target {
+			// The searcher itself can be a member (even the gateway): its
+			// routing tables still steer the walk, but it is not a candidate
+			// and costs no probe.
+			probed[id] = math.Inf(1)
+			return math.Inf(1)
+		}
 		l := o.net.Probe(id, target)
 		probes++
 		probed[id] = l

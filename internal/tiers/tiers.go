@@ -158,6 +158,9 @@ func (h *Hierarchy) FindNearest(target int) overlay.Result {
 		sort.Ints(members)
 		minID, minLat := -1, math.Inf(1)
 		for _, m := range members {
+			if m == target {
+				continue // the searcher itself can be a member; it is not a candidate
+			}
 			l := h.net.Probe(m, target)
 			probes++
 			if l < minLat {

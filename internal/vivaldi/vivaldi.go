@@ -191,29 +191,49 @@ func (s *System) Net() *overlay.Network { return s.net }
 // nProbes random members (query probes) and running update iterations
 // against them — how a freshly joining peer obtains its coordinate.
 func (s *System) PlaceTarget(target, nProbes int) (*Coord, int64) {
-	c := NewCoord(s.cfg.Dimensions)
-	type obs struct {
-		coord *Coord
-		rtt   float64
-	}
-	var observations []obs
+	sample := s.SamplePlacement(target, nProbes)
+	obs := make([]PlacementObservation, 0, len(sample))
 	var probes int64
+	for _, m := range sample {
+		obs = append(obs, PlacementObservation{Coord: s.coords[m], RTTms: s.net.Probe(target, m)})
+		probes++
+	}
+	return s.PlaceObservations(obs), probes
+}
+
+// PlacementObservation pairs a member's coordinate with the RTT a placing
+// node measured to it — one input of the placement iteration.
+type PlacementObservation struct {
+	Coord *Coord
+	RTTms float64
+}
+
+// SamplePlacement draws the member sample PlaceTarget would probe,
+// consuming the system's stream exactly as PlaceTarget's probe loop does
+// (self-draws are skipped and cost nothing). Wire deployments use it to
+// issue the same placement probes as real pings.
+func (s *System) SamplePlacement(target, nProbes int) []int {
+	out := make([]int, 0, nProbes)
 	for i := 0; i < nProbes; i++ {
 		m := s.members[s.src.Intn(len(s.members))]
 		if m == target {
 			continue
 		}
-		rtt := s.net.Probe(target, m)
-		probes++
-		observations = append(observations, obs{coord: s.coords[m], rtt: rtt})
+		out = append(out, m)
 	}
-	// Iterate updates over the fixed observation set to convergence.
+	return out
+}
+
+// PlaceObservations runs the placement iteration over a fixed observation
+// set — PlaceTarget's second half, consuming the stream identically.
+func (s *System) PlaceObservations(obs []PlacementObservation) *Coord {
+	c := NewCoord(s.cfg.Dimensions)
 	for iter := 0; iter < 30; iter++ {
-		for _, o := range observations {
-			c.Update(o.coord, o.rtt, s.cfg, s.src)
+		for _, o := range obs {
+			c.Update(o.Coord, o.RTTms, s.cfg, s.src)
 		}
 	}
-	return c, probes
+	return c
 }
 
 // MedianAbsRelErr reports the embedding quality over a random sample of

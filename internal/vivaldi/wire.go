@@ -214,6 +214,9 @@ func NewWire(rt p2p.Transport, cfg WireConfig, seed int64) *Wire {
 		cfg.PlacementProbes <= 0 || cfg.MaxWalkHops <= 0 {
 		panic(fmt.Sprintf("vivaldi: invalid wire config %+v", cfg))
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		panic(err)
+	}
 	n := rt.Population()
 	w := &Wire{
 		rt:      rt,
